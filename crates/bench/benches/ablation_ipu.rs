@@ -1,0 +1,22 @@
+//! Ablation of the IPU model's activation-residency (recompute) choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        ablations::render(
+            "Ablation: IPU activation residency vs capacity",
+            "residency",
+            &ablations::ipu_activation_residency(),
+        )
+    );
+    c.bench_function("ablation_ipu_residency", |b| {
+        b.iter(|| black_box(ablations::ipu_activation_residency()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ablations of the RDU model's design choices: operator fusion and the
+//! per-section PCU ceiling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        ablations::render("Ablation: RDU operator fusion", "fused", &ablations::rdu_fusion())
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "Ablation: RDU per-section PCU ceiling (HS 1600)",
+            "ceiling",
+            &ablations::rdu_section_ceiling(),
+        )
+    );
+    c.bench_function("ablation_rdu_fusion", |b| {
+        b.iter(|| black_box(ablations::rdu_fusion()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

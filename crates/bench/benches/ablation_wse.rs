@@ -1,0 +1,31 @@
+//! Ablations of the WSE model's design choices: transmission-PE overhead
+//! and config-memory growth (DESIGN.md, "Mechanisms worth spelling out").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "\n{}",
+        ablations::render(
+            "Ablation: WSE transmission-PE overhead (24 layers)",
+            "ratio",
+            &ablations::wse_transmission_ratio(),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "Ablation: WSE config-memory growth vs max depth",
+            "coef",
+            &ablations::wse_config_growth(),
+        )
+    );
+    c.bench_function("ablation_wse_transmission", |b| {
+        b.iter(|| black_box(ablations::wse_transmission_ratio()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

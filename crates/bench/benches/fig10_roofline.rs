@@ -1,0 +1,13 @@
+//! Regenerates Fig. 10 (roofline models) and benchmarks the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::fig10;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig10::render(&fig10::run()));
+    c.bench_function("fig10_roofline", |b| b.iter(|| black_box(fig10::run())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 11 (scaling details per platform) and benchmarks the
+//! three panels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::fig11;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for t in fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()) {
+        println!("\n{t}");
+    }
+    c.bench_function("fig11_wse_replicas", |b| {
+        b.iter(|| black_box(fig11::run_wse()))
+    });
+    c.bench_function("fig11_rdu_tp", |b| b.iter(|| black_box(fig11::run_rdu())));
+    c.bench_function("fig11_ipu_allocations", |b| {
+        b.iter(|| black_box(fig11::run_ipu()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 12 (throughput vs batch size) and benchmarks the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::fig12;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig12::render(&fig12::run()));
+    c.bench_function("fig12_batch_size", |b| b.iter(|| black_box(fig12::run())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

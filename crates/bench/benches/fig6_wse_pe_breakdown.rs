@@ -1,0 +1,14 @@
+//! Regenerates Fig. 6 (computation vs transmission PEs) and benchmarks the
+//! compile sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::fig6;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig6::render(&fig6::run()));
+    c.bench_function("fig6_wse_pe_breakdown", |b| b.iter(|| black_box(fig6::run())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

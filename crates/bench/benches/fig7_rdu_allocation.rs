@@ -1,0 +1,18 @@
+//! Regenerates Fig. 7 (RDU allocation vs layers and hidden size) and
+//! benchmarks both sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::fig7;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig7::render(&fig7::run_layers(), "a"));
+    println!("{}", fig7::render(&fig7::run_hidden_sizes(), "b"));
+    c.bench_function("fig7_layers", |b| b.iter(|| black_box(fig7::run_layers())));
+    c.bench_function("fig7_hidden_sizes", |b| {
+        b.iter(|| black_box(fig7::run_hidden_sizes()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 8 (load imbalance) and benchmarks both panels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::fig8;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig8::render(&fig8::run_layers(), "a"));
+    println!("{}", fig8::render(&fig8::run_hidden_sizes(), "b"));
+    c.bench_function("fig8_layers", |b| b.iter(|| black_box(fig8::run_layers())));
+    c.bench_function("fig8_hidden_sizes", |b| {
+        b.iter(|| black_box(fig8::run_hidden_sizes()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 9 (memory/compute interaction on all chips) and
+//! benchmarks the four panels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::fig9;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tables = fig9::render(
+        &fig9::run_wse(),
+        &fig9::run_rdu_layers(),
+        &fig9::run_rdu_hidden(),
+        &fig9::run_ipu(),
+    );
+    for t in &tables {
+        println!("\n{t}");
+    }
+    c.bench_function("fig9_wse", |b| b.iter(|| black_box(fig9::run_wse())));
+    c.bench_function("fig9_rdu_layers", |b| {
+        b.iter(|| black_box(fig9::run_rdu_layers()))
+    });
+    c.bench_function("fig9_ipu", |b| b.iter(|| black_box(fig9::run_ipu())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Hardware-sensitivity analysis (throughput elasticities per platform).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::sensitivity;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", sensitivity::render(&sensitivity::run()));
+    c.bench_function("sensitivity", |b| b.iter(|| black_box(sensitivity::run())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

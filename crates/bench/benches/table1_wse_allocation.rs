@@ -1,0 +1,17 @@
+//! Regenerates Table I (WSE-2 PE allocation vs decoder layers) and
+//! benchmarks the compilation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::table1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table1::run();
+    println!("\n{}", table1::render(&rows));
+    c.bench_function("table1_wse_allocation", |b| {
+        b.iter(|| black_box(table1::run()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Table II (O3 partitioning and O1 LM-head sharding) and
+//! benchmarks the partitioners.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::table2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
+    println!("\n{a}\n{b}");
+    c.bench_function("table2_o3_partitioning", |bch| {
+        bch.iter(|| black_box(table2::run_o3()))
+    });
+    c.bench_function("table2_o1_sharding", |bch| {
+        bch.iter(|| black_box(table2::run_shards()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates Table III (scalability across all platforms) and benchmarks
+//! the full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::table3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table3::run();
+    println!("\n{}", table3::render(&rows));
+    c.bench_function("table3_scalability", |b| {
+        b.iter(|| black_box(table3::run()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

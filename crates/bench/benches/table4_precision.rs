@@ -1,0 +1,20 @@
+//! Regenerates Table IV (mixed-precision throughput) and benchmarks the
+//! precision sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::experiments::table4;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = table4::run();
+    println!("\n{}", table4::render(&rows));
+    for device in ["IPU", "WSE", "RDU (7B)"] {
+        if let Some(g) = table4::gain(&rows, device) {
+            println!("{device}: mixed-precision gain {:+.1}%", 100.0 * g);
+        }
+    }
+    c.bench_function("table4_precision", |b| b.iter(|| black_box(table4::run())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

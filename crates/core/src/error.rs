@@ -1,0 +1,68 @@
+//! Framework-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by platform models when profiling a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The workload does not fit in some memory level — the paper's
+    /// observed failure mode on the WSE-2 beyond 72 layers and the IPU at
+    /// 10 layers.
+    OutOfMemory {
+        /// Memory level that overflowed (e.g. `"pe-sram"`).
+        level: String,
+        /// Bytes the workload requires at that level.
+        required_bytes: u64,
+        /// Bytes available at that level.
+        capacity_bytes: u64,
+    },
+    /// The platform cannot execute this configuration (unsupported
+    /// strategy, too few devices, …).
+    Unsupported(String),
+    /// The platform's compiler could not map the workload.
+    CompileFailure(String),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::OutOfMemory {
+                level,
+                required_bytes,
+                capacity_bytes,
+            } => write!(
+                f,
+                "out of memory at level `{level}`: need {required_bytes} B, have {capacity_bytes} B"
+            ),
+            PlatformError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
+            PlatformError::CompileFailure(msg) => write!(f, "compilation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_level_and_sizes() {
+        let e = PlatformError::OutOfMemory {
+            level: "pe-sram".into(),
+            required_bytes: 100,
+            capacity_bytes: 50,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pe-sram"));
+        assert!(s.contains("100"));
+        assert!(s.contains("50"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PlatformError>();
+    }
+}

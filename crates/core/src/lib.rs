@@ -1,0 +1,49 @@
+//! # dabench-core
+//!
+//! The DABench-LLM benchmarking framework: a standardized, two-tier
+//! methodology for profiling dataflow AI accelerators running LLM training
+//! workloads, independent of any particular chip.
+//!
+//! The framework (Sec. IV of the paper) consists of:
+//!
+//! - **Tier 1 — intra-chip profiling** ([`tier1`]): resource allocation
+//!   ratio (Eqs. 1–2), load imbalance (Eqs. 3–4), and resource-utilization
+//!   efficiency including a roofline analysis at the global-memory level.
+//! - **Tier 2 — inter-chip scalability and deployment** ([`tier2`]):
+//!   scaling strategies classified through the DP/TP/PP lens, plus batch
+//!   size and precision sweeps.
+//!
+//! Chips plug in by implementing the [`Platform`] trait (and optionally
+//! [`Scalable`]); the framework then derives every metric from the
+//! platform-reported [`ChipProfile`].
+//!
+//! # Example
+//!
+//! ```
+//! use dabench_core::metrics::load_imbalance;
+//! use dabench_core::TaskProfile;
+//!
+//! // Two tasks with equal throughput are perfectly balanced (LI = 1).
+//! let tasks = vec![
+//!     TaskProfile::new("a", 100.0, 10.0),
+//!     TaskProfile::new("b", 100.0, 10.0),
+//! ];
+//! assert!((load_imbalance(&tasks).unwrap() - 1.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod metrics;
+mod platform;
+mod report;
+pub mod tier1;
+pub mod tier2;
+
+pub use error::PlatformError;
+pub use platform::{
+    ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,
+    ParallelStrategy, Platform, Scalable, ScalingProfile, SectionProfile, TaskProfile,
+};
+pub use report::{batch_saturation_point, BatchPoint, BoundKind, PrecisionPoint, Tier1Report, Tier2Report};

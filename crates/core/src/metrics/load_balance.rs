@@ -1,0 +1,135 @@
+//! Load imbalance (Eqs. 3 and 4 of the paper).
+
+use crate::platform::TaskProfile;
+
+/// Eq. 3: the load-imbalance metric
+///
+/// ```text
+/// LI = (1 / Σ R_i) · Σ (T_min / T_i) · R_i
+/// ```
+///
+/// where `T_i` is the throughput of task `i`, `T_min` the slowest task's
+/// throughput, and `R_i` the resources allocated to task `i`. `LI = 1`
+/// means perfectly balanced (every task matches the bottleneck rate, no
+/// resources idle waiting); values near 0 mean most resources sit on tasks
+/// far faster than the bottleneck.
+///
+/// Returns `None` when `tasks` is empty, resources sum to zero, or any
+/// throughput is non-positive.
+///
+/// # Example
+///
+/// ```
+/// use dabench_core::metrics::load_imbalance;
+/// use dabench_core::TaskProfile;
+///
+/// // One task 10× faster than the other, equal resources: LI = (0.1+1)/2.
+/// let tasks = vec![
+///     TaskProfile::new("fast", 100.0, 1.0),
+///     TaskProfile::new("slow", 10.0, 1.0),
+/// ];
+/// assert!((load_imbalance(&tasks).unwrap() - 0.55).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn load_imbalance(tasks: &[TaskProfile]) -> Option<f64> {
+    if tasks.is_empty() {
+        return None;
+    }
+    let t_min = tasks
+        .iter()
+        .map(|t| t.throughput)
+        .fold(f64::INFINITY, f64::min);
+    if !(t_min > 0.0) {
+        return None;
+    }
+    let total_r: f64 = tasks.iter().map(|t| t.resources).sum();
+    if total_r <= 0.0 {
+        return None;
+    }
+    let acc: f64 = tasks
+        .iter()
+        .map(|t| (t_min / t.throughput) * t.resources)
+        .sum();
+    Some(acc / total_r)
+}
+
+/// Eq. 4: runtime-weighted load imbalance across sections,
+///
+/// ```text
+/// LI_total = Σ L_i · LI_i / Σ L_i
+/// ```
+///
+/// `sections` holds `(runtime_s, LI_i)` pairs. Returns `None` when total
+/// runtime is zero.
+///
+/// # Example
+///
+/// ```
+/// use dabench_core::metrics::weighted_load_imbalance;
+/// let li = weighted_load_imbalance(&[(3.0, 1.0), (1.0, 0.6)]).unwrap();
+/// assert!((li - 0.9).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn weighted_load_imbalance(sections: &[(f64, f64)]) -> Option<f64> {
+    let total: f64 = sections.iter().map(|&(l, _)| l).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(sections.iter().map(|&(l, li)| l * li).sum::<f64>() / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(tp: f64, r: f64) -> TaskProfile {
+        TaskProfile::new("t", tp, r)
+    }
+
+    #[test]
+    fn perfectly_balanced_is_one() {
+        let tasks = vec![task(5.0, 2.0), task(5.0, 8.0), task(5.0, 1.0)];
+        assert!((load_imbalance(&tasks).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn li_bounded_between_zero_and_one() {
+        let tasks = vec![task(1000.0, 1.0), task(1.0, 1.0)];
+        let li = load_imbalance(&tasks).unwrap();
+        assert!(li > 0.0 && li <= 1.0);
+    }
+
+    #[test]
+    fn resources_weight_the_imbalance() {
+        // Put nearly all resources on the slow task: LI approaches 1.
+        let mostly_slow = vec![task(100.0, 1.0), task(1.0, 99.0)];
+        // Put nearly all resources on the fast task: LI approaches 0.
+        let mostly_fast = vec![task(100.0, 99.0), task(1.0, 1.0)];
+        assert!(load_imbalance(&mostly_slow).unwrap() > 0.9);
+        assert!(load_imbalance(&mostly_fast).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn single_task_is_balanced() {
+        assert!((load_imbalance(&[task(7.0, 3.0)]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(load_imbalance(&[]).is_none());
+        assert!(load_imbalance(&[task(0.0, 1.0)]).is_none());
+        assert!(load_imbalance(&[task(-1.0, 1.0)]).is_none());
+        assert!(load_imbalance(&[task(1.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn weighted_li_mixes_by_runtime() {
+        let li = weighted_load_imbalance(&[(1.0, 0.2), (1.0, 0.8)]).unwrap();
+        assert!((li - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_li_empty_is_none() {
+        assert!(weighted_load_imbalance(&[]).is_none());
+    }
+}

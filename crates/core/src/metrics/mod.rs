@@ -1,0 +1,13 @@
+//! The framework's standardized metrics (Sec. IV-B of the paper).
+
+mod allocation;
+mod efficiency;
+mod load_balance;
+mod roofline;
+mod scaling;
+
+pub use allocation::{allocation_ratio, weighted_allocation_ratio, AllocationRecord};
+pub use efficiency::{compute_efficiency, EfficiencyRecord};
+pub use load_balance::{load_imbalance, weighted_load_imbalance};
+pub use roofline::{Roofline, RooflinePoint};
+pub use scaling::{scaling_efficiency, ScalingEfficiency};

@@ -1,0 +1,321 @@
+//! `dabench` — command-line front end for the DABench-LLM reproduction.
+//!
+//! ```text
+//! dabench table1|table2|table3|table4        reproduce a paper table
+//! dabench fig6|fig7|fig8|fig9|fig10|fig11|fig12   reproduce a paper figure
+//! dabench all                                everything above
+//! dabench ablations                          design-choice ablations
+//! dabench tier1 <platform> [opts]            profile one workload
+//! dabench summary [opts]                     all platforms, one workload
+//!
+//! platforms: wse | rdu-o0 | rdu-o1 | rdu-o3 | ipu | gpu
+//! opts: --hidden N  --layers N  --batch N  --seq N
+//!       --precision fp16|bf16|cb16|fp32  --model gpt2-small|gpt2-xl|llama2-7b
+//! ```
+
+use dabench::core::{tier1, Platform};
+use dabench::experiments::{
+    ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, summary, table1, table2,
+    table3, table4, validation,
+};
+use dabench::gpu::GpuCluster;
+use dabench::ipu::Ipu;
+use dabench::model::{ModelConfig, Precision, TrainingWorkload};
+use dabench::rdu::{CompilationMode, Rdu};
+use dabench::wse::Wse;
+use std::process::ExitCode;
+
+struct Opts {
+    hidden: u64,
+    layers: u64,
+    batch: u64,
+    seq: u64,
+    precision: Precision,
+    model: Option<ModelConfig>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            hidden: 768,
+            layers: 12,
+            batch: 32,
+            seq: 1024,
+            precision: Precision::Fp16,
+            model: None,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--hidden" => opts.hidden = value()?.parse().map_err(|e| format!("--hidden: {e}"))?,
+            "--layers" => opts.layers = value()?.parse().map_err(|e| format!("--layers: {e}"))?,
+            "--batch" => opts.batch = value()?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--seq" => opts.seq = value()?.parse().map_err(|e| format!("--seq: {e}"))?,
+            "--precision" => {
+                opts.precision = match value()?.as_str() {
+                    "fp16" => Precision::Fp16,
+                    "bf16" => Precision::Bf16,
+                    "cb16" => Precision::Cb16,
+                    "fp32" => Precision::Fp32,
+                    other => return Err(format!("unknown precision `{other}`")),
+                }
+            }
+            "--model" => {
+                opts.model = Some(match value()?.as_str() {
+                    "gpt2-mini" => ModelConfig::gpt2_mini(),
+                    "gpt2-tiny" => ModelConfig::gpt2_tiny(),
+                    "gpt2-small" => ModelConfig::gpt2_small(),
+                    "gpt2-medium" => ModelConfig::gpt2_medium(),
+                    "gpt2-large" => ModelConfig::gpt2_large(),
+                    "gpt2-xl" => ModelConfig::gpt2_xl(),
+                    "llama2-7b" => ModelConfig::llama2_7b(),
+                    "llama2-13b" => ModelConfig::llama2_13b(),
+                    other => return Err(format!("unknown model `{other}`")),
+                })
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn workload(opts: &Opts) -> Result<TrainingWorkload, String> {
+    if opts.batch == 0 || opts.seq == 0 || opts.layers == 0 || opts.hidden == 0 {
+        return Err("--hidden, --layers, --batch and --seq must be positive".to_owned());
+    }
+    let model = opts
+        .model
+        .clone()
+        .unwrap_or_else(|| ModelConfig::gpt2_probe(opts.hidden, opts.layers));
+    Ok(TrainingWorkload::new(
+        model,
+        opts.batch,
+        opts.seq,
+        opts.precision,
+    ))
+}
+
+fn platform(name: &str) -> Result<Box<dyn Platform>, String> {
+    Ok(match name {
+        "wse" => Box::new(Wse::default()),
+        "rdu-o0" => Box::new(Rdu::with_mode(CompilationMode::O0)),
+        "rdu-o1" => Box::new(Rdu::with_mode(CompilationMode::O1)),
+        "rdu" | "rdu-o3" => Box::new(Rdu::with_mode(CompilationMode::O3)),
+        "ipu" => Box::new(Ipu::default()),
+        "gpu" => Box::new(GpuCluster::default()),
+        other => return Err(format!("unknown platform `{other}`")),
+    })
+}
+
+/// All table/figure command names, in paper order.
+const EXPERIMENTS: [&str; 11] = [
+    "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12",
+];
+
+/// Print one paper artifact by command name; `false` when unknown.
+fn print_experiment(name: &str) -> bool {
+    match name {
+        "table1" => println!("{}", table1::render(&table1::run())),
+        "table2" => {
+            let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
+            println!("{a}\n{b}");
+        }
+        "table3" => println!("{}", table3::render(&table3::run())),
+        "table4" => println!("{}", table4::render(&table4::run())),
+        "fig6" => println!("{}", fig6::render(&fig6::run())),
+        "fig7" => {
+            println!("{}", fig7::render(&fig7::run_layers(), "a"));
+            println!("{}", fig7::render(&fig7::run_hidden_sizes(), "b"));
+        }
+        "fig8" => {
+            println!("{}", fig8::render(&fig8::run_layers(), "a"));
+            println!("{}", fig8::render(&fig8::run_hidden_sizes(), "b"));
+        }
+        "fig9" => {
+            for t in fig9::render(
+                &fig9::run_wse(),
+                &fig9::run_rdu_layers(),
+                &fig9::run_rdu_hidden(),
+                &fig9::run_ipu(),
+            ) {
+                println!("{t}");
+            }
+        }
+        "fig10" => println!("{}", fig10::render(&fig10::run())),
+        "fig11" => {
+            for t in fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()) {
+                println!("{t}");
+            }
+        }
+        "fig12" => println!("{}", fig12::render(&fig12::run())),
+        _ => return false,
+    }
+    true
+}
+
+fn print_ablations() {
+    println!(
+        "{}",
+        ablations::render(
+            "Ablation: WSE transmission-PE overhead (24 layers)",
+            "ratio",
+            &ablations::wse_transmission_ratio(),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "Ablation: WSE config-memory growth vs max depth",
+            "coef",
+            &ablations::wse_config_growth(),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render("Ablation: RDU operator fusion", "fused", &ablations::rdu_fusion())
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "Ablation: RDU per-section PCU ceiling (HS 1600)",
+            "ceiling",
+            &ablations::rdu_section_ceiling(),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render(
+            "Ablation: IPU activation residency vs capacity",
+            "residency",
+            &ablations::ipu_activation_residency(),
+        )
+    );
+}
+
+fn usage() -> &'static str {
+    "usage: dabench <command> [options]\n\
+     commands:\n\
+       table1 table2 table3 table4       reproduce a paper table\n\
+       fig6 fig7 fig8 fig9 fig10 fig11 fig12   reproduce a paper figure\n\
+       all                               every table and figure\n\
+       ablations                         design-choice ablations\n\
+       sensitivity                       hardware-parameter elasticities\n\
+       csv <experiment>                  emit an experiment as CSV\n\
+       check                             reproduction scorecard (all claims)\n\
+       tier1 <wse|rdu-o0|rdu-o1|rdu-o3|ipu|gpu>  profile one workload\n\
+       summary                           all platforms, one workload\n\
+     options: --hidden N --layers N --batch N --seq N\n\
+              --precision fp16|bf16|cb16|fp32 --model <preset>"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result: Result<(), String> = match cmd.as_str() {
+        name if print_experiment(name) => Ok(()),
+        "all" => {
+            for name in EXPERIMENTS {
+                print_experiment(name);
+            }
+            Ok(())
+        }
+        "ablations" => {
+            print_ablations();
+            Ok(())
+        }
+        "sensitivity" => {
+            println!("{}", sensitivity::render(&sensitivity::run()));
+            Ok(())
+        }
+        "check" => {
+            let checks = validation::run();
+            println!("{}", validation::render(&checks));
+            let failed = checks.iter().filter(|c| !c.passed).count();
+            if failed == 0 {
+                println!("all {} claims reproduced", checks.len());
+                Ok(())
+            } else {
+                Err(format!("{failed} claim(s) failed"))
+            }
+        }
+        "csv" => rest
+            .first()
+            .ok_or_else(|| "csv needs an experiment name".to_owned())
+            .and_then(|name| {
+                let tables: Vec<dabench::render::Table> = match name.as_str() {
+                    "table1" => vec![table1::render(&table1::run())],
+                    "table2" => {
+                        let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
+                        vec![a, b]
+                    }
+                    "table3" => vec![table3::render(&table3::run())],
+                    "table4" => vec![table4::render(&table4::run())],
+                    "fig6" => vec![fig6::render(&fig6::run())],
+                    "fig7" => vec![
+                        fig7::render(&fig7::run_layers(), "a"),
+                        fig7::render(&fig7::run_hidden_sizes(), "b"),
+                    ],
+                    "fig8" => vec![
+                        fig8::render(&fig8::run_layers(), "a"),
+                        fig8::render(&fig8::run_hidden_sizes(), "b"),
+                    ],
+                    "fig10" => vec![fig10::render(&fig10::run())],
+                    "fig12" => vec![fig12::render(&fig12::run())],
+                    "sensitivity" => vec![sensitivity::render(&sensitivity::run())],
+                    other => return Err(format!("no CSV export for `{other}`")),
+                };
+                for t in tables {
+                    print!("{}", t.to_csv());
+                }
+                Ok(())
+            }),
+        "tier1" => rest
+            .split_first()
+            .ok_or_else(|| "tier1 needs a platform".to_owned())
+            .and_then(|(name, flags)| {
+                let p = platform(name)?;
+                let opts = parse_opts(flags)?;
+                let w = workload(&opts)?;
+                match tier1::run(p.as_ref(), &w) {
+                    Ok(r) => {
+                        println!("{r:#?}");
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("{name} cannot run {w}: {e}")),
+                }
+            }),
+        "summary" => parse_opts(rest).and_then(|opts| {
+            let w = workload(&opts)?;
+            println!("Workload: {w}\n");
+            println!("{}", summary::render(&summary::run(&w)));
+            Ok(())
+        }),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Fig. 8: load imbalance of WSE-2 (kernel level) and RDU (operator level).
+
+use super::workloads::{rdu_o1_probe, rdu_probe, wse_probe, RDU_HS_SWEEP, RDU_LAYER_SWEEP};
+use crate::render::Table;
+use dabench_core::tier1;
+use dabench_rdu::{CompilationMode, Rdu};
+use dabench_wse::Wse;
+use serde::{Deserialize, Serialize};
+
+/// One LI observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Series label (`"wse"`, `"rdu-o1"`, `"rdu-o3"`).
+    pub series: String,
+    /// Swept parameter (layers for panel a, hidden size for panel b).
+    pub x: u64,
+    /// Load imbalance (Eq. 3 / Eq. 4).
+    pub li: f64,
+}
+
+/// Fig. 8(a): LI vs layer count.
+#[must_use]
+pub fn run_layers() -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    let wse = Wse::default();
+    for &l in &[6u64, 12, 24, 36, 48] {
+        let li = tier1::run(&wse, &wse_probe(l))
+            .expect("wse probe compiles")
+            .load_imbalance
+            .expect("wse reports LI");
+        rows.push(Fig8Row {
+            series: "wse".to_owned(),
+            x: l,
+            li,
+        });
+    }
+    for &l in &RDU_LAYER_SWEEP {
+        for (mode, w) in [
+            (CompilationMode::O1, rdu_o1_probe(4096, l)),
+            (CompilationMode::O3, rdu_probe(768, l)),
+        ] {
+            let li = tier1::run(&Rdu::with_mode(mode), &w)
+                .expect("rdu probe profiles")
+                .load_imbalance
+                .expect("rdu reports LI");
+            rows.push(Fig8Row {
+                series: format!("rdu-{mode}"),
+                x: l,
+                li,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 8(b): RDU LI vs hidden size.
+#[must_use]
+pub fn run_hidden_sizes() -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for &hs in &RDU_HS_SWEEP {
+        let li = tier1::run(&Rdu::with_mode(CompilationMode::O3), &rdu_probe(hs, 12))
+            .expect("o3 probe")
+            .load_imbalance
+            .expect("li");
+        rows.push(Fig8Row {
+            series: "rdu-o3".to_owned(),
+            x: hs,
+            li,
+        });
+    }
+    for &hs in &[3072u64, 4096, 5120, 6686, 8192] {
+        let li = tier1::run(&Rdu::with_mode(CompilationMode::O1), &rdu_o1_probe(hs, 4))
+            .expect("o1 probe")
+            .load_imbalance
+            .expect("li");
+        rows.push(Fig8Row {
+            series: "rdu-o1".to_owned(),
+            x: hs,
+            li,
+        });
+    }
+    rows
+}
+
+/// Render one panel.
+#[must_use]
+pub fn render(rows: &[Fig8Row], panel: &str) -> Table {
+    let mut t = Table::new(format!("Fig. 8({panel}): load imbalance (1 = balanced)"));
+    t.set_headers(["Series", "x", "LI"]);
+    for r in rows {
+        t.add_row([r.series.clone(), r.x.to_string(), format!("{:.3}", r.li)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series<'a>(rows: &'a [Fig8Row], s: &str) -> Vec<f64> {
+        rows.iter().filter(|r| r.series == s).map(|r| r.li).collect()
+    }
+
+    #[test]
+    fn wse_li_between_096_and_1() {
+        let rows = run_layers();
+        for li in series(&rows, "wse") {
+            assert!((0.94..=1.0).contains(&li), "{li}");
+        }
+    }
+
+    #[test]
+    fn o1_balances_better_than_o3() {
+        let rows = run_layers();
+        let o1_min = series(&rows, "rdu-o1").into_iter().fold(f64::INFINITY, f64::min);
+        let o3_max = series(&rows, "rdu-o3").into_iter().fold(0.0f64, f64::max);
+        assert!(o1_min > o3_max, "o1 min {o1_min} vs o3 max {o3_max}");
+    }
+
+    #[test]
+    fn o3_li_decreases_with_layers() {
+        let rows = run_layers();
+        let o3 = series(&rows, "rdu-o3");
+        assert!(o3.first().unwrap() > o3.last().unwrap());
+    }
+
+    #[test]
+    fn li_improves_with_hidden_size() {
+        let rows = run_hidden_sizes();
+        let o1 = series(&rows, "rdu-o1");
+        let o3 = series(&rows, "rdu-o3");
+        assert!(o1.last().unwrap() > o1.first().unwrap());
+        assert!(o3.last().unwrap() > o3.first().unwrap());
+    }
+
+    #[test]
+    fn render_has_both_rdu_series() {
+        let s = render(&run_hidden_sizes(), "b").to_string();
+        assert!(s.contains("rdu-o1") && s.contains("rdu-o3"));
+    }
+}

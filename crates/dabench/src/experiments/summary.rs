@@ -1,0 +1,114 @@
+//! Cross-platform summary of one workload.
+//!
+//! The paper deliberately avoids ranking the platforms ("ensuring fairness
+//! is highly challenging"); this module keeps that caveat but gives a
+//! downstream user the side-by-side view they will inevitably want, with
+//! each platform profiled at its own canonical configuration.
+
+use crate::render::{num_or_fail, Table};
+use dabench_core::{tier1, Platform, Tier1Report};
+use dabench_ipu::Ipu;
+use dabench_model::TrainingWorkload;
+use dabench_rdu::{CompilationMode, Rdu};
+use dabench_wse::Wse;
+use serde::{Deserialize, Serialize};
+
+/// One platform's summary line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// Platform name.
+    pub platform: String,
+    /// Full Tier-1 report, `None` when the workload does not map.
+    pub report: Option<Tier1Report>,
+}
+
+/// Profile `workload` on all three dataflow platforms.
+#[must_use]
+pub fn run(workload: &TrainingWorkload) -> Vec<SummaryRow> {
+    let wse = Wse::default();
+    let rdu = Rdu::with_mode(CompilationMode::O3);
+    let ipu = Ipu::default();
+    let platforms: Vec<&dyn Platform> = vec![&wse, &rdu, &ipu];
+    platforms
+        .into_iter()
+        .map(|p| SummaryRow {
+            platform: p.name().to_owned(),
+            report: tier1::run(p, workload).ok(),
+        })
+        .collect()
+}
+
+/// Render the summary.
+#[must_use]
+pub fn render(rows: &[SummaryRow]) -> Table {
+    let mut t = Table::new(
+        "Cross-platform summary (per-chip; configurations differ — see the paper's fairness caveat)",
+    );
+    t.set_headers([
+        "Platform",
+        "Tokens/s",
+        "TFLOP/s",
+        "Efficiency",
+        "Load imbalance",
+        "Bound",
+    ]);
+    for r in rows {
+        match &r.report {
+            Some(rep) => t.add_row([
+                r.platform.clone(),
+                format!("{:.3e}", rep.throughput_tokens_per_s),
+                format!("{:.1}", rep.achieved_tflops),
+                format!("{:.1}%", 100.0 * rep.compute_efficiency),
+                num_or_fail(rep.load_imbalance, 3),
+                rep.bound.map_or("n/a".to_owned(), |b| b.to_string()),
+            ]),
+            None => t.add_row([
+                r.platform.clone(),
+                "Fail".to_owned(),
+                "Fail".to_owned(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabench_model::{ModelConfig, Precision};
+
+    #[test]
+    fn all_platforms_handle_the_shared_probe() {
+        let w = TrainingWorkload::new(
+            ModelConfig::gpt2_probe(768, 6),
+            32,
+            1024,
+            Precision::Fp16,
+        );
+        let rows = run(&w);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.report.is_some()));
+    }
+
+    #[test]
+    fn failures_render_as_fail() {
+        // 78 layers: WSE fails (per-PE SRAM), RDU succeeds (DDR has room
+        // at this batch), IPU fails (tile SRAM).
+        let w = TrainingWorkload::new(
+            ModelConfig::gpt2_probe(768, 78),
+            32,
+            1024,
+            Precision::Fp16,
+        );
+        let rows = run(&w);
+        let wse = rows.iter().find(|r| r.platform.contains("wse")).unwrap();
+        let rdu = rows.iter().find(|r| r.platform.contains("sn30")).unwrap();
+        assert!(wse.report.is_none());
+        assert!(rdu.report.is_some());
+        let s = render(&rows).to_string();
+        assert!(s.contains("Fail"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Canonical workload configurations shared by the experiment drivers
+//! (Sec. IV-D "Methodology and Setup" of the paper).
+
+use dabench_model::{ModelConfig, Precision, TrainingWorkload};
+
+/// WSE intra-chip probe: GPT-2 decoder block at hidden size 768, batch
+/// past the Fig. 12 saturation knee.
+#[must_use]
+pub fn wse_probe(layers: u64) -> TrainingWorkload {
+    TrainingWorkload::new(
+        ModelConfig::gpt2_probe(768, layers),
+        256,
+        1024,
+        Precision::Fp16,
+    )
+}
+
+/// RDU O0/O3 probe: GPT-2 decoder block at the given hidden size.
+#[must_use]
+pub fn rdu_probe(hidden: u64, layers: u64) -> TrainingWorkload {
+    TrainingWorkload::new(
+        ModelConfig::gpt2_probe(hidden, layers),
+        8,
+        1024,
+        Precision::Fp16,
+    )
+}
+
+/// RDU O1 probe: LLaMA-2 decoder block at the given hidden size (the O1
+/// experiments use the LLaMA-2 block, Sec. IV-D).
+#[must_use]
+pub fn rdu_o1_probe(hidden: u64, layers: u64) -> TrainingWorkload {
+    TrainingWorkload::new(
+        ModelConfig::llama2_probe(hidden, layers),
+        4,
+        2048,
+        Precision::Bf16,
+    )
+}
+
+/// IPU probe: GPT-2 decoder block at hidden size 768.
+#[must_use]
+pub fn ipu_probe(layers: u64) -> TrainingWorkload {
+    TrainingWorkload::new(
+        ModelConfig::gpt2_probe(768, layers),
+        64,
+        1024,
+        Precision::Fp16,
+    )
+}
+
+/// LLaMA-2 7B training workload for the RDU scalability rows.
+#[must_use]
+pub fn llama7b() -> TrainingWorkload {
+    TrainingWorkload::new(ModelConfig::llama2_7b(), 8, 4096, Precision::Bf16)
+}
+
+/// GPT-2 XL workload for the GPU reference rows.
+#[must_use]
+pub fn gpt2_xl(batch: u64) -> TrainingWorkload {
+    TrainingWorkload::new(ModelConfig::gpt2_xl(), batch, 1024, Precision::Fp16)
+}
+
+/// The Table I / Fig. 6 layer sweep.
+pub const WSE_LAYER_SWEEP: [u64; 14] = [1, 6, 12, 18, 24, 30, 36, 42, 48, 54, 60, 66, 72, 78];
+
+/// The Table II(a) / Fig. 7(b) hidden-size sweep for O0/O3.
+pub const RDU_HS_SWEEP: [u64; 5] = [480, 768, 1024, 1280, 1600];
+
+/// The Table II(b) / Fig. 7(b) hidden-size sweep for O1.
+pub const RDU_O1_HS_SWEEP: [u64; 5] = [3072, 4096, 5120, 6686, 8192];
+
+/// The Fig. 7(a) / Fig. 8(a) layer sweep for the RDU.
+pub const RDU_LAYER_SWEEP: [u64; 5] = [6, 12, 24, 36, 48];
+
+/// The Fig. 9(d) IPU layer sweep (10 fails).
+pub const IPU_LAYER_SWEEP: [u64; 7] = [1, 2, 4, 6, 8, 9, 10];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_match_paper_setup() {
+        assert_eq!(wse_probe(12).model().hidden_size, 768);
+        assert_eq!(rdu_o1_probe(4096, 4).model().vocab_size, 32_000);
+        assert_eq!(ipu_probe(4).batch_size(), 64);
+        assert!(llama7b().model().parameter_count() > 6_000_000_000);
+    }
+
+    #[test]
+    fn sweeps_cover_paper_ranges() {
+        assert_eq!(WSE_LAYER_SWEEP.first(), Some(&1));
+        assert_eq!(WSE_LAYER_SWEEP.last(), Some(&78));
+        assert_eq!(RDU_O1_HS_SWEEP.last(), Some(&8192));
+        assert!(IPU_LAYER_SWEEP.contains(&10));
+    }
+}

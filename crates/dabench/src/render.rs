@@ -1,0 +1,206 @@
+//! Plain-text table rendering in the paper's row/series layout.
+
+use std::fmt;
+
+/// A simple aligned ASCII table.
+///
+/// # Example
+///
+/// ```
+/// use dabench::render::Table;
+///
+/// let mut t = Table::new("Demo");
+/// t.set_headers(["x", "y"]);
+/// t.add_row(["1", "2.5"]);
+/// let s = t.to_string();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains("2.5"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Set the column headers.
+    pub fn set_headers<I, S>(&mut self, headers: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+    }
+
+    /// Append a row (short rows are padded with empty cells).
+    pub fn add_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut [usize], cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        writeln!(f, "== {} ==", self.title)?;
+        let write_cells = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map_or("", String::as_str);
+                write!(f, "| {cell:>w$} ", w = w)?;
+            }
+            writeln!(f, "|")
+        };
+        if !self.headers.is_empty() {
+            write_cells(f, &self.headers)?;
+            let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+            writeln!(f, "{}", "-".repeat(total))?;
+        }
+        for r in &self.rows {
+            write_cells(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+impl Table {
+    /// Render the table as CSV (headers first), for plotting the figures
+    /// with external tools.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dabench::render::Table;
+    /// let mut t = Table::new("demo");
+    /// t.set_headers(["x", "y"]);
+    /// t.add_row(["1", "2"]);
+    /// assert_eq!(t.to_csv(), "x,y\n1,2\n");
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        if !self.headers.is_empty() {
+            out.push_str(
+                &self
+                    .headers
+                    .iter()
+                    .map(|h| escape(h))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format an optional percentage; `None` renders as the paper's "Fail".
+#[must_use]
+pub fn pct_or_fail(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{:.0}", 100.0 * x),
+        None => "Fail".to_owned(),
+    }
+}
+
+/// Format a float with `digits` decimals; `None` renders as "Fail".
+#[must_use]
+pub fn num_or_fail(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "Fail".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T");
+        t.set_headers(["a", "bbbb"]);
+        t.add_row(["1", "2"]);
+        t.add_row(["333", "4"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== T ==");
+        // All data lines share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("T");
+        t.set_headers(["a", "b", "c"]);
+        t.add_row(["1"]);
+        let s = t.to_string();
+        assert_eq!(s.lines().last().unwrap().matches('|').count(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("t");
+        t.set_headers(["a", "b"]);
+        t.add_row(["1,5", "quote\"y"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"quote\"\"y\""));
+    }
+
+    #[test]
+    fn fail_formatting() {
+        assert_eq!(pct_or_fail(Some(0.926)), "93");
+        assert_eq!(pct_or_fail(None), "Fail");
+        assert_eq!(num_or_fail(Some(1.5), 2), "1.50");
+        assert_eq!(num_or_fail(None, 1), "Fail");
+    }
+}

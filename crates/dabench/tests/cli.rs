@@ -1,0 +1,81 @@
+//! Smoke tests of the `dabench` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_dabench"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn table1_prints_the_table() {
+    let (ok, stdout, _) = run(&["table1"]);
+    assert!(ok);
+    assert!(stdout.contains("Table I"));
+    assert!(stdout.contains("Fail"));
+}
+
+#[test]
+fn tier1_profiles_a_platform() {
+    let (ok, stdout, _) = run(&["tier1", "wse", "--layers", "12", "--batch", "64"]);
+    assert!(ok);
+    assert!(stdout.contains("Tier1Report"));
+    assert!(stdout.contains("cerebras-wse2"));
+}
+
+#[test]
+fn tier1_reports_mapping_failures() {
+    let (ok, _, stderr) = run(&["tier1", "ipu", "--layers", "10", "--batch", "64"]);
+    assert!(!ok);
+    assert!(stderr.contains("out of memory"), "{stderr}");
+}
+
+#[test]
+fn summary_prints_all_platforms() {
+    let (ok, stdout, _) = run(&["summary", "--layers", "6", "--batch", "16"]);
+    assert!(ok);
+    assert!(stdout.contains("cerebras"));
+    assert!(stdout.contains("sn30"));
+    assert!(stdout.contains("ipu"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn bad_flag_value_is_reported() {
+    let (ok, _, stderr) = run(&["summary", "--layers", "abc"]);
+    assert!(!ok);
+    assert!(stderr.contains("--layers"));
+}
+
+#[test]
+fn zero_valued_flags_get_clean_errors() {
+    for args in [
+        ["summary", "--batch", "0"],
+        ["summary", "--layers", "0"],
+        ["tier1", "wse", "--seq"],
+    ] {
+        let (ok, _, stderr) = run(&args);
+        assert!(!ok, "{args:?}");
+        assert!(!stderr.contains("panicked"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("commands"));
+}

@@ -1,0 +1,68 @@
+//! Property-based tests of the Megatron cost model.
+
+use dabench_gpu::{megatron_throughput, GpuSpec, MegatronConfig};
+use dabench_model::{ModelConfig, Precision, TrainingWorkload};
+use proptest::prelude::*;
+
+fn workload(batch: u64) -> TrainingWorkload {
+    TrainingWorkload::new(ModelConfig::gpt2_xl(), batch, 1024, Precision::Fp16)
+}
+
+fn arb_layout() -> impl Strategy<Value = MegatronConfig> {
+    (0u32..4, 0u32..4, 0u32..6)
+        .prop_map(|(t, p, d)| MegatronConfig::new(1 << t, 1 << p, 1 << d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid layouts always produce finite positive timings with bounded
+    /// fractions.
+    #[test]
+    fn run_invariants(layout in arb_layout(), batch_log in 6u32..11) {
+        let batch = 1u64 << batch_log;
+        let Ok(run) = megatron_throughput(&GpuSpec::a100(), &workload(batch), layout) else {
+            return Ok(()); // invalid layouts are rejected, that's fine
+        };
+        prop_assert!(run.step_time_s > 0.0 && run.step_time_s.is_finite());
+        prop_assert!(run.tokens_per_s > 0.0);
+        prop_assert!((run.tokens_per_s_per_gpu * f64::from(layout.gpus()) - run.tokens_per_s).abs()
+            / run.tokens_per_s < 1e-12);
+        prop_assert!((0.0..1.0).contains(&run.bubble_fraction));
+        prop_assert!((0.0..1.0).contains(&run.comm_fraction));
+    }
+
+    /// Aggregate throughput never decreases when data parallelism widens
+    /// (weak scaling with proportional batch).
+    #[test]
+    fn dp_weak_scaling_monotone(d_log in 0u32..5) {
+        let d = 1u32 << d_log;
+        let base = megatron_throughput(&GpuSpec::a100(), &workload(64), MegatronConfig::new(8, 1, 1))
+            .unwrap();
+        let scaled = megatron_throughput(
+            &GpuSpec::a100(),
+            &workload(64 * u64::from(d)),
+            MegatronConfig::new(8, 1, d),
+        )
+        .unwrap();
+        prop_assert!(scaled.tokens_per_s >= base.tokens_per_s * 0.9 * f64::from(d).sqrt());
+    }
+
+    /// More micro-batches never worsen the bubble fraction.
+    #[test]
+    fn bubble_shrinks_with_batch(batch_log in 6u32..12) {
+        let small = megatron_throughput(
+            &GpuSpec::a100(),
+            &workload(1 << batch_log),
+            MegatronConfig::new(1, 8, 1),
+        )
+        .unwrap();
+        let large = megatron_throughput(
+            &GpuSpec::a100(),
+            &workload(1 << (batch_log + 1)),
+            MegatronConfig::new(1, 8, 1),
+        )
+        .unwrap();
+        prop_assert!(large.bubble_fraction <= small.bubble_fraction + 1e-12);
+    }
+}

@@ -1,0 +1,267 @@
+//! Construction of training-step dataflow graphs.
+
+use crate::graph::{DataflowGraph, NodeId};
+use dabench_model::ops::{self, Op, OpClass, Phase};
+use dabench_model::{ModelConfig, TrainingWorkload};
+use std::collections::HashMap;
+
+/// Builds [`DataflowGraph`]s for complete LLM training steps.
+///
+/// The builder consumes the flat operator list from
+/// [`dabench_model::ops::training_step_ops`] and reconstructs the real
+/// dependency structure:
+///
+/// - the forward chain (embedding → layer 0 → … → loss), including the
+///   residual skip edges inside each decoder block;
+/// - the backward chain mirroring it in reverse, with mirrored skips;
+/// - gradient → optimizer edges from every parameterized backward op.
+///
+/// # Example
+///
+/// ```
+/// use dabench_graph::GraphBuilder;
+/// use dabench_model::ModelConfig;
+///
+/// let g = GraphBuilder::training_step(&ModelConfig::gpt2_probe(768, 4), 2, 128);
+/// // The residual add joins two producers: the skip and the out-projection.
+/// let resid = g.find("l0.residual1.fwd").unwrap();
+/// assert_eq!(g.preds(resid).len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder;
+
+impl GraphBuilder {
+    /// Build the dataflow graph of one training step of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generated op list violates graph invariants (this
+    /// indicates a bug in the op catalogue, not user error).
+    #[must_use]
+    pub fn training_step(cfg: &ModelConfig, batch: u64, seq: u64) -> DataflowGraph {
+        let ops = ops::training_step_ops(cfg, batch, seq);
+        let index: HashMap<String, usize> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (op.name.clone(), i))
+            .collect();
+        let at = |name: &str| -> usize {
+            *index
+                .get(name)
+                .unwrap_or_else(|| panic!("op catalogue missing `{name}`"))
+        };
+
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+
+        // --- Forward chain with residual skips ---
+        //
+        // Inside a block the main path is
+        //   in -> norm1 -> qkv -> [rope] -> scores -> softmax -> context
+        //      -> out_proj -> residual1 -> norm2 -> mlp... -> residual2
+        // with skips  in -> residual1  and  residual1 -> residual2.
+        let mut prev_out = at("embedding.fwd");
+        for l in 0..cfg.num_layers {
+            let n = |label: &str| at(&format!("l{l}.{label}.fwd"));
+            let block_in = prev_out;
+            edges.push((block_in, n("norm1")));
+            let mut cur = n("norm1");
+            for label in ["qkv_proj", "rope", "attn_scores", "softmax", "attn_context", "out_proj"] {
+                let full = format!("l{l}.{label}.fwd");
+                if let Some(&next) = index.get(&full) {
+                    edges.push((cur, next));
+                    cur = next;
+                }
+            }
+            // residual1 <- out_proj + skip from block input.
+            edges.push((cur, n("residual1")));
+            edges.push((block_in, n("residual1")));
+            let resid1 = n("residual1");
+
+            edges.push((resid1, n("norm2")));
+            let norm2 = n("norm2");
+            // MLP: up (and gate) feed the activation, activation feeds down.
+            edges.push((norm2, n("mlp_up")));
+            let act = n("act_fn");
+            edges.push((n("mlp_up"), act));
+            if let Some(&gate) = index.get(&format!("l{l}.mlp_gate.fwd")) {
+                edges.push((norm2, gate));
+                edges.push((gate, act));
+            }
+            edges.push((act, n("mlp_down")));
+            edges.push((n("mlp_down"), n("residual2")));
+            edges.push((resid1, n("residual2")));
+            prev_out = n("residual2");
+        }
+        edges.push((prev_out, at("final_norm.fwd")));
+        edges.push((at("final_norm.fwd"), at("lm_head.fwd")));
+        edges.push((at("lm_head.fwd"), at("loss.fwd")));
+
+        // --- Backward: mirror every forward edge, reversed, between the
+        //     corresponding .bwd nodes; seed from loss.fwd -> loss.bwd. ---
+        let bwd_name = |i: usize| ops[i].name.replace(".fwd", ".bwd");
+        let fwd_edges = edges.clone();
+        edges.push((at("loss.fwd"), at("loss.bwd")));
+        for &(a, b) in &fwd_edges {
+            let (ba, bb) = (at(&bwd_name(b)), at(&bwd_name(a)));
+            edges.push((ba, bb));
+        }
+        // The backward of a parameterized op also needs its forward input
+        // activation; that dependency is already implied by program order on
+        // real systems and by the mirrored edges here, so we do not add
+        // duplicate activation edges.
+
+        // --- Optimizer depends on every parameterized backward op. ---
+        let opt = at("optimizer.upd");
+        for (i, op) in ops.iter().enumerate() {
+            if op.phase == Phase::Backward && op.params > 0 {
+                edges.push((i, opt));
+            }
+        }
+
+        edges.sort_unstable();
+        edges.dedup();
+
+        DataflowGraph::from_parts(ops, &edges).expect("builder produced invalid graph")
+    }
+
+    /// Build the graph for a [`TrainingWorkload`].
+    #[must_use]
+    pub fn for_workload(w: &TrainingWorkload) -> DataflowGraph {
+        Self::training_step(w.model(), w.batch_size(), w.seq_len())
+    }
+
+    /// Build the forward-only subgraph (used by inference-style probes).
+    #[must_use]
+    pub fn forward_only(cfg: &ModelConfig, batch: u64, seq: u64) -> DataflowGraph {
+        let full = Self::training_step(cfg, batch, seq);
+        let keep: Vec<NodeId> = full
+            .iter()
+            .filter(|(_, op)| op.phase == Phase::Forward)
+            .map(|(id, _)| id)
+            .collect();
+        let remap: HashMap<NodeId, usize> =
+            keep.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let nodes: Vec<Op> = keep.iter().map(|&id| full.op(id).clone()).collect();
+        let mut edges = Vec::new();
+        for &id in &keep {
+            for &s in full.succs(id) {
+                if let (Some(&a), Some(&b)) = (remap.get(&id), remap.get(&s)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        DataflowGraph::from_parts(nodes, &edges).expect("forward subgraph invalid")
+    }
+}
+
+/// Convenience: ids of all nodes in `g` belonging to decoder layer `layer`.
+#[must_use]
+pub fn layer_nodes(g: &DataflowGraph, layer: u64) -> Vec<NodeId> {
+    g.iter()
+        .filter(|(_, op)| op.layer == Some(layer))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Convenience: ids of all nodes of a given class.
+#[must_use]
+pub fn class_nodes(g: &DataflowGraph, class: OpClass) -> Vec<NodeId> {
+    g.iter()
+        .filter(|(_, op)| op.class == class)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabench_model::Precision;
+
+    fn g() -> DataflowGraph {
+        GraphBuilder::training_step(&ModelConfig::gpt2_probe(768, 3), 2, 128)
+    }
+
+    #[test]
+    fn graph_is_valid_dag() {
+        g().validate().unwrap();
+    }
+
+    #[test]
+    fn llama_graph_is_valid_dag() {
+        GraphBuilder::training_step(&ModelConfig::llama2_probe(512, 2), 1, 64)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn residual_skip_edges_exist() {
+        let g = g();
+        let r1 = g.find("l1.residual1.fwd").unwrap();
+        let r2 = g.find("l1.residual2.fwd").unwrap();
+        assert_eq!(g.preds(r1).len(), 2);
+        assert_eq!(g.preds(r2).len(), 2);
+    }
+
+    #[test]
+    fn backward_mirrors_forward_depth() {
+        let g = g();
+        let levels = g.levels();
+        let loss_fwd = g.find("loss.fwd").unwrap();
+        let emb_bwd = g.find("embedding.bwd").unwrap();
+        // The backward of the embedding is the deepest compute node.
+        assert!(levels[emb_bwd.0] > levels[loss_fwd.0]);
+    }
+
+    #[test]
+    fn optimizer_is_sink() {
+        let g = g();
+        let opt = g.find("optimizer.upd").unwrap();
+        assert!(g.succs(opt).is_empty());
+        assert!(g.preds(opt).len() > 5);
+    }
+
+    #[test]
+    fn forward_only_has_no_backward_nodes() {
+        let fwd = GraphBuilder::forward_only(&ModelConfig::gpt2_probe(768, 2), 1, 64);
+        fwd.validate().unwrap();
+        assert!(fwd.iter().all(|(_, op)| op.phase == Phase::Forward));
+        assert!(fwd.find("loss.fwd").is_some());
+    }
+
+    #[test]
+    fn workload_builder_matches_direct() {
+        let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 2), 2, 128, Precision::Fp16);
+        let a = GraphBuilder::for_workload(&w);
+        let b = GraphBuilder::training_step(&ModelConfig::gpt2_probe(768, 2), 2, 128);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn layer_nodes_cover_both_phases() {
+        let g = g();
+        let nodes = layer_nodes(&g, 0);
+        let fwd = nodes.iter().filter(|&&id| g.op(id).phase == Phase::Forward).count();
+        let bwd = nodes.iter().filter(|&&id| g.op(id).phase == Phase::Backward).count();
+        assert_eq!(fwd, bwd);
+        assert!(fwd >= 12);
+    }
+
+    #[test]
+    fn class_query_finds_attention() {
+        let g = g();
+        assert_eq!(class_nodes(&g, OpClass::AttnScores).len(), 6); // 3 layers × fwd+bwd
+    }
+
+    #[test]
+    fn no_dangling_interior_nodes() {
+        let g = g();
+        // Exactly one forward source (embedding.fwd).
+        let sources: Vec<_> = g
+            .node_ids()
+            .filter(|&id| g.preds(id).is_empty())
+            .collect();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(g.op(sources[0]).name, "embedding.fwd");
+    }
+}

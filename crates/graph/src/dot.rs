@@ -1,0 +1,76 @@
+//! Graphviz (DOT) export for dataflow graphs.
+
+use crate::graph::DataflowGraph;
+use dabench_model::ops::Phase;
+use std::fmt::Write as _;
+
+/// Render `g` as a Graphviz `digraph`.
+///
+/// Forward nodes are drawn as boxes, backward nodes as ellipses and the
+/// optimizer as a diamond; the output is valid input for `dot -Tsvg`.
+///
+/// # Example
+///
+/// ```
+/// use dabench_graph::{dot, GraphBuilder};
+/// use dabench_model::ModelConfig;
+///
+/// let g = GraphBuilder::training_step(&ModelConfig::gpt2_mini(), 1, 32);
+/// let text = dot::to_dot(&g, "gpt2_mini_step");
+/// assert!(text.starts_with("digraph gpt2_mini_step"));
+/// ```
+#[must_use]
+pub fn to_dot(g: &DataflowGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (id, op) in g.iter() {
+        let shape = match op.phase {
+            Phase::Forward => "box",
+            Phase::Backward => "ellipse",
+            Phase::Update => "diamond",
+        };
+        let _ = writeln!(
+            out,
+            "  {id} [label=\"{}\\n{:.2e} FLOPs\" shape={shape}];",
+            op.name, op.flops
+        );
+    }
+    for id in g.node_ids() {
+        for &s in g.succs(id) {
+            let _ = writeln!(out, "  {id} -> {s};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use dabench_model::ModelConfig;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = GraphBuilder::training_step(&ModelConfig::gpt2_probe(768, 1), 1, 32);
+        let text = to_dot(&g, "t");
+        assert_eq!(
+            text.matches(" -> ").count(),
+            g.edge_count(),
+            "every edge rendered"
+        );
+        assert!(text.contains("embedding.fwd"));
+        assert!(text.contains("optimizer.upd"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn shapes_reflect_phases() {
+        let g = GraphBuilder::training_step(&ModelConfig::gpt2_probe(768, 1), 1, 32);
+        let text = to_dot(&g, "t");
+        assert!(text.contains("shape=box"));
+        assert!(text.contains("shape=ellipse"));
+        assert!(text.contains("shape=diamond"));
+    }
+}

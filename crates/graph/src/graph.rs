@@ -1,0 +1,360 @@
+//! The dataflow DAG type.
+
+use dabench_model::ops::Op;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Index of a node in a [`DataflowGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Errors produced by graph construction and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph contains a cycle involving the named node.
+    Cycle(String),
+    /// An edge endpoint is out of range.
+    InvalidNode(usize),
+    /// Two nodes share a name.
+    DuplicateName(String),
+    /// A non-source node has no predecessors.
+    Orphan(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Cycle(n) => write!(f, "dependency cycle through node `{n}`"),
+            GraphError::InvalidNode(i) => write!(f, "edge references missing node index {i}"),
+            GraphError::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            GraphError::Orphan(n) => write!(f, "non-source node `{n}` has no predecessors"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An immutable dataflow DAG whose nodes are LLM training operators.
+///
+/// Construct with [`DataflowGraph::from_parts`] or, for full training steps,
+/// [`crate::GraphBuilder`]. Node payloads are [`Op`] values from
+/// `dabench-model`; edges point from producer to consumer.
+///
+/// # Example
+///
+/// ```
+/// use dabench_graph::GraphBuilder;
+/// use dabench_model::ModelConfig;
+///
+/// let g = GraphBuilder::training_step(&ModelConfig::gpt2_mini(), 1, 64);
+/// // Every graph built by the builder is a valid DAG.
+/// g.validate().unwrap();
+/// assert!(g.total_flops() > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataflowGraph {
+    nodes: Vec<Op>,
+    preds: Vec<Vec<NodeId>>,
+    succs: Vec<Vec<NodeId>>,
+}
+
+impl DataflowGraph {
+    /// Build a graph from node payloads and (producer, consumer) edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidNode`] if an edge endpoint is out of
+    /// range and [`GraphError::DuplicateName`] if node names collide.
+    pub fn from_parts(nodes: Vec<Op>, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let n = nodes.len();
+        let mut seen = HashMap::with_capacity(n);
+        for op in &nodes {
+            if seen.insert(op.name.clone(), ()).is_some() {
+                return Err(GraphError::DuplicateName(op.name.clone()));
+            }
+        }
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a >= n {
+                return Err(GraphError::InvalidNode(a));
+            }
+            if b >= n {
+                return Err(GraphError::InvalidNode(b));
+            }
+            succs[a].push(NodeId(b));
+            preds[b].push(NodeId(a));
+        }
+        Ok(Self {
+            nodes,
+            preds,
+            succs,
+        })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// The operator payload of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn op(&self, id: NodeId) -> &Op {
+        &self.nodes[id.0]
+    }
+
+    /// All node ids in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterate over `(id, op)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Op)> {
+        self.nodes.iter().enumerate().map(|(i, op)| (NodeId(i), op))
+    }
+
+    /// Predecessors (producers) of `id`.
+    #[must_use]
+    pub fn preds(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.0]
+    }
+
+    /// Successors (consumers) of `id`.
+    #[must_use]
+    pub fn succs(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.0]
+    }
+
+    /// Find a node by exact operator name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|op| op.name == name)
+            .map(NodeId)
+    }
+
+    /// Total FLOPs over all nodes.
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.nodes.iter().map(|op| op.flops).sum()
+    }
+
+    /// A topological order of all nodes (Kahn's algorithm). Ties are broken
+    /// by insertion order, so the result is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle; use [`DataflowGraph::validate`]
+    /// first on untrusted input.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        self.try_topological_order()
+            .expect("graph contains a cycle")
+    }
+
+    fn try_topological_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.nodes.len();
+        let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        // A simple FIFO over a sorted frontier keeps the order stable.
+        let mut frontier: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < frontier.len() {
+            let u = frontier[head];
+            head += 1;
+            order.push(NodeId(u));
+            for &NodeId(v) in &self.succs[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    frontier.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(GraphError::Cycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// ASAP level of every node: sources are level 0, every other node is
+    /// one more than its deepest predecessor. The maximum level + 1 is the
+    /// graph's critical-path length in operators.
+    #[must_use]
+    pub fn levels(&self) -> Vec<usize> {
+        let order = self.topological_order();
+        let mut level = vec![0usize; self.nodes.len()];
+        for &NodeId(u) in &order {
+            for &NodeId(p) in &self.preds[u] {
+                level[u] = level[u].max(level[p] + 1);
+            }
+        }
+        level
+    }
+
+    /// FLOPs along the heaviest dependency path.
+    #[must_use]
+    pub fn critical_path_flops(&self) -> f64 {
+        let order = self.topological_order();
+        let mut best = vec![0f64; self.nodes.len()];
+        let mut max = 0.0f64;
+        for &NodeId(u) in &order {
+            let from_preds = self.preds[u]
+                .iter()
+                .map(|&NodeId(p)| best[p])
+                .fold(0.0, f64::max);
+            best[u] = from_preds + self.nodes[u].flops;
+            max = max.max(best[u]);
+        }
+        max
+    }
+
+    /// Check structural invariants: DAG-ness and that every node except the
+    /// designated sources is reachable from a producer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        self.try_topological_order()?;
+        Ok(())
+    }
+
+    /// Sum of FLOPs restricted to a node set.
+    #[must_use]
+    pub fn subset_flops(&self, ids: &[NodeId]) -> f64 {
+        ids.iter().map(|&id| self.op(id).flops).sum()
+    }
+
+    /// Number of edges crossing from `from` into `to` (data transferred
+    /// between two partitions), measured in producer-tensor elements.
+    #[must_use]
+    pub fn cut_elems(&self, from: &[NodeId], to: &[NodeId]) -> u64 {
+        let to_set: std::collections::HashSet<NodeId> = to.iter().copied().collect();
+        let mut elems = 0;
+        for &id in from {
+            if self.succs(id).iter().any(|s| to_set.contains(s)) {
+                elems += self.op(id).out_elems;
+            }
+        }
+        elems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabench_model::ops::{OpClass, Phase};
+
+    fn mk_op(name: &str, flops: f64) -> Op {
+        Op {
+            name: name.to_owned(),
+            class: OpClass::Norm,
+            phase: Phase::Forward,
+            layer: None,
+            flops,
+            params: 0,
+            in_elems: 8,
+            out_elems: 8,
+        }
+    }
+
+    fn diamond() -> DataflowGraph {
+        // a -> b, a -> c, b -> d, c -> d
+        DataflowGraph::from_parts(
+            vec![mk_op("a", 1.0), mk_op("b", 2.0), mk_op("c", 10.0), mk_op("d", 1.0)],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, NodeId(n)) in order.iter().enumerate() {
+                p[*n] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1]);
+        assert!(pos[0] < pos[2]);
+        assert!(pos[1] < pos[3]);
+        assert!(pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = DataflowGraph::from_parts(
+            vec![mk_op("a", 1.0), mk_op("b", 1.0)],
+            &[(0, 1), (1, 0)],
+        )
+        .unwrap();
+        assert!(matches!(g.validate(), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = DataflowGraph::from_parts(vec![mk_op("a", 1.0), mk_op("a", 1.0)], &[]);
+        assert!(matches!(err, Err(GraphError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn invalid_edge_rejected() {
+        let err = DataflowGraph::from_parts(vec![mk_op("a", 1.0)], &[(0, 5)]);
+        assert!(matches!(err, Err(GraphError::InvalidNode(5))));
+    }
+
+    #[test]
+    fn critical_path_takes_heavy_branch() {
+        let g = diamond();
+        // a(1) -> c(10) -> d(1) = 12.
+        assert!((g.critical_path_flops() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levels_of_diamond() {
+        let g = diamond();
+        assert_eq!(g.levels(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn cut_counts_producer_tensors() {
+        let g = diamond();
+        let cut = g.cut_elems(&[NodeId(0), NodeId(1)], &[NodeId(2), NodeId(3)]);
+        // a feeds c (8 elems) and b feeds d (8 elems).
+        assert_eq!(cut, 16);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let g = diamond();
+        assert_eq!(g.find("c"), Some(NodeId(2)));
+        assert_eq!(g.find("zzz"), None);
+    }
+}

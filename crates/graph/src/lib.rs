@@ -1,0 +1,44 @@
+//! # dabench-graph
+//!
+//! Dataflow computation-graph IR for LLM training workloads.
+//!
+//! Dataflow accelerators represent a program as a computation graph whose
+//! nodes are operators and whose edges are data dependencies; compilers then
+//! map that graph onto the chip (whole-graph on the Cerebras WSE-2,
+//! section-by-section on the SambaNova RDU, layer-pipelined on the Graphcore
+//! IPU). This crate provides the graph those mappers consume:
+//!
+//! - [`DataflowGraph`]: an immutable DAG over [`dabench_model::ops::Op`]
+//!   nodes with exact dependency edges (sequential chains, residual skips,
+//!   backward mirrors, gradient→optimizer edges).
+//! - [`GraphBuilder`]: constructs the training-step graph of a model.
+//! - [`partition`]: reusable contiguous/weighted partitioning utilities used
+//!   by the platform compilers.
+//! - [`analysis`]: graph statistics (depth, width, per-phase FLOPs).
+//! - [`fuse`]: a generic operator-fusion pass (the O1-style transform).
+//! - [`dot`]: Graphviz export for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use dabench_graph::GraphBuilder;
+//! use dabench_model::ModelConfig;
+//!
+//! let g = GraphBuilder::training_step(&ModelConfig::gpt2_probe(768, 2), 4, 256);
+//! assert!(g.validate().is_ok());
+//! let order = g.topological_order();
+//! assert_eq!(order.len(), g.node_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+pub mod dot;
+pub mod fuse;
+mod graph;
+pub mod partition;
+
+pub use builder::{class_nodes, layer_nodes, GraphBuilder};
+pub use graph::{DataflowGraph, GraphError, NodeId};

@@ -1,0 +1,224 @@
+//! Inference workload accounting (extension beyond the paper's
+//! training-only scope).
+//!
+//! The paper's framework is defined for training, but its metrics only
+//! need FLOP and byte accounting, so extending the workload model to
+//! autoregressive inference is natural future work (and lets the roofline
+//! analysis explain why decode is memory-bound on *every* platform). This
+//! module provides exact prefill/decode accounting with KV-cache traffic.
+
+use crate::config::ModelConfig;
+use crate::precision::Precision;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An autoregressive inference workload: prefill a prompt, then decode
+/// tokens one at a time with a KV cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceWorkload {
+    model: ModelConfig,
+    batch_size: u64,
+    prompt_len: u64,
+    decode_len: u64,
+    precision: Precision,
+}
+
+/// FLOP/byte accounting of one inference phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCost {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Weight bytes read.
+    pub weight_bytes: f64,
+    /// KV-cache bytes read and written.
+    pub kv_bytes: f64,
+    /// Arithmetic intensity, FLOPs/byte.
+    pub intensity: f64,
+}
+
+impl InferenceWorkload {
+    /// Create an inference workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(
+        model: ModelConfig,
+        batch_size: u64,
+        prompt_len: u64,
+        decode_len: u64,
+        precision: Precision,
+    ) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        assert!(prompt_len > 0, "prompt_len must be positive");
+        assert!(decode_len > 0, "decode_len must be positive");
+        Self {
+            model,
+            batch_size,
+            prompt_len,
+            decode_len,
+            precision,
+        }
+    }
+
+    /// The model architecture.
+    #[must_use]
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// KV-cache bytes per sequence at context length `ctx`.
+    #[must_use]
+    pub fn kv_cache_bytes_per_seq(&self, ctx: u64) -> u64 {
+        // K and V, one vector of kv_dim per layer per position.
+        2 * self.model.num_layers
+            * ctx
+            * self.model.kv_dim()
+            * self.precision.bytes_per_element()
+    }
+
+    /// Cost of the prefill phase (the whole prompt in one pass).
+    #[must_use]
+    pub fn prefill_cost(&self) -> PhaseCost {
+        let p = self.model.parameter_count() as f64;
+        let tokens = (self.batch_size * self.prompt_len) as f64;
+        // 2 FLOPs per parameter per token plus the attention quadratic term.
+        let attn = 4.0
+            * self.batch_size as f64
+            * (self.prompt_len * self.prompt_len) as f64
+            * self.model.hidden_size as f64
+            * self.model.num_layers as f64;
+        let flops = 2.0 * p * tokens + attn;
+        let wb = p * self.precision.bytes_per_element() as f64;
+        let kv = (self.batch_size * self.kv_cache_bytes_per_seq(self.prompt_len)) as f64;
+        PhaseCost {
+            flops,
+            weight_bytes: wb,
+            kv_bytes: kv,
+            intensity: flops / (wb + kv),
+        }
+    }
+
+    /// Cost of one decode step at context length `ctx` (whole batch).
+    #[must_use]
+    pub fn decode_step_cost(&self, ctx: u64) -> PhaseCost {
+        let p = self.model.parameter_count() as f64;
+        let b = self.batch_size as f64;
+        let attn =
+            4.0 * b * ctx as f64 * self.model.hidden_size as f64 * self.model.num_layers as f64;
+        let flops = 2.0 * p * b + attn;
+        // Every decode step re-reads all weights and the full KV cache.
+        let wb = p * self.precision.bytes_per_element() as f64;
+        let kv = b * self.kv_cache_bytes_per_seq(ctx) as f64;
+        PhaseCost {
+            flops,
+            weight_bytes: wb,
+            kv_bytes: kv,
+            intensity: flops / (wb + kv),
+        }
+    }
+
+    /// Total cost of the full decode phase (summed over steps).
+    #[must_use]
+    pub fn decode_cost(&self) -> PhaseCost {
+        let mut flops = 0.0;
+        let mut wb = 0.0;
+        let mut kv = 0.0;
+        for i in 0..self.decode_len {
+            let c = self.decode_step_cost(self.prompt_len + i);
+            flops += c.flops;
+            wb += c.weight_bytes;
+            kv += c.kv_bytes;
+        }
+        PhaseCost {
+            flops,
+            weight_bytes: wb,
+            kv_bytes: kv,
+            intensity: flops / (wb + kv),
+        }
+    }
+}
+
+impl fmt::Display for InferenceWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} B={} prompt={} decode={} {}",
+            self.model, self.batch_size, self.prompt_len, self.decode_len, self.precision
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w() -> InferenceWorkload {
+        InferenceWorkload::new(
+            ModelConfig::gpt2_small(),
+            8,
+            512,
+            128,
+            Precision::Fp16,
+        )
+    }
+
+    #[test]
+    fn prefill_is_compute_dense_decode_is_not() {
+        let w = w();
+        let prefill = w.prefill_cost();
+        let decode = w.decode_step_cost(512);
+        // The well-known inference asymmetry: prefill AI ≫ decode AI.
+        assert!(
+            prefill.intensity > 20.0 * decode.intensity,
+            "prefill {} vs decode {}",
+            prefill.intensity,
+            decode.intensity
+        );
+    }
+
+    #[test]
+    fn decode_intensity_near_batch_size() {
+        // Weight-bound decode: AI ≈ 2·B FLOPs per weight byte / 2 bytes.
+        let w = w();
+        let c = w.decode_step_cost(512);
+        assert!((c.intensity - w.batch_size as f64).abs() < 0.6 * w.batch_size as f64);
+    }
+
+    #[test]
+    fn kv_cache_grows_linearly_with_context() {
+        let w = w();
+        assert_eq!(
+            w.kv_cache_bytes_per_seq(1024),
+            2 * w.kv_cache_bytes_per_seq(512)
+        );
+    }
+
+    #[test]
+    fn gqa_shrinks_the_kv_cache() {
+        let mha = InferenceWorkload::new(ModelConfig::llama2_7b(), 1, 512, 16, Precision::Fp16);
+        let gqa = InferenceWorkload::new(ModelConfig::llama2_70b(), 1, 512, 16, Precision::Fp16);
+        // 70B has 8 KV heads of 128 → kv_dim 1024 vs 7B's 4096; per layer
+        // the cache is 4× smaller despite the much larger model.
+        let per_layer =
+            |w: &InferenceWorkload| w.kv_cache_bytes_per_seq(512) / w.model().num_layers;
+        assert!(per_layer(&gqa) < per_layer(&mha));
+    }
+
+    #[test]
+    fn decode_cost_sums_steps() {
+        let w = w();
+        let total = w.decode_cost();
+        let first = w.decode_step_cost(512);
+        let last = w.decode_step_cost(512 + 127);
+        assert!(total.flops > 127.0 * first.flops);
+        assert!(total.flops < 129.0 * last.flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "prompt_len")]
+    fn zero_prompt_rejected() {
+        let _ = InferenceWorkload::new(ModelConfig::gpt2_mini(), 1, 0, 1, Precision::Fp16);
+    }
+}

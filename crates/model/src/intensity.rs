@@ -1,0 +1,58 @@
+//! Arithmetic-intensity estimation (Eq. 5 of the paper).
+
+/// Estimate the arithmetic intensity of one LLM training step, in
+/// FLOPs/byte, following the paper's Eq. 5:
+///
+/// ```text
+///        6 · P · B · S
+/// AI = -------------------
+///       4 · P + A_bytes
+/// ```
+///
+/// where `P` is the parameter count, `B` the batch size, `S` the sequence
+/// length and `A_bytes` the stored activation memory. The `6·P·B·S`
+/// numerator is the standard forward (2×) + backward (4×) FLOPs-per-token
+/// estimate; the `4·P` term charges one read of the 16-bit weights and one
+/// write of the 16-bit gradients.
+///
+/// # Example
+///
+/// ```
+/// use dabench_model::arithmetic_intensity;
+/// let ai = arithmetic_intensity(124e6 as u64, 8, 1024, 4 * 1024 * 1024 * 1024);
+/// assert!(ai > 1.0);
+/// ```
+#[must_use]
+pub fn arithmetic_intensity(params: u64, batch: u64, seq: u64, activation_bytes: u64) -> f64 {
+    let p = params as f64;
+    let flops = 6.0 * p * (batch * seq) as f64;
+    let traffic = 4.0 * p + activation_bytes as f64;
+    flops / traffic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_with_batch_when_weight_bound() {
+        // With negligible activations, AI is linear in tokens.
+        let a = arithmetic_intensity(1_000_000, 1, 1024, 0);
+        let b = arithmetic_intensity(1_000_000, 2, 1024, 0);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_bound_limit_is_1_5_tokens() {
+        // activation_bytes = 0 → AI = 1.5 · B · S.
+        let ai = arithmetic_intensity(123, 4, 128, 0);
+        assert!((ai - 1.5 * (4.0 * 128.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activations_reduce_intensity() {
+        let lean = arithmetic_intensity(1_000_000, 8, 512, 0);
+        let heavy = arithmetic_intensity(1_000_000, 8, 512, 1 << 30);
+        assert!(heavy < lean);
+    }
+}

@@ -1,0 +1,203 @@
+//! Tensor parallelism across RDUs (Sec. VI-A.3b of the paper).
+
+use crate::chip::{RduCompilerParams, RduSpec};
+use crate::modes::{partition, CompilationMode};
+use crate::schedule::execute_sections;
+use crate::section::Section;
+use dabench_core::PlatformError;
+use dabench_model::TrainingWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a tensor-parallel execution across `degree` RDUs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpPlan {
+    /// TP degree (number of RDUs).
+    pub degree: u32,
+    /// Aggregate training throughput, tokens/second.
+    pub throughput_tokens_per_s: f64,
+    /// Fraction of step time spent in allreduce communication.
+    pub communication_fraction: f64,
+    /// Runtime-weighted PCU allocation ratio per chip (incl. the idle
+    /// fabric during communication phases).
+    pub pcu_allocation: f64,
+    /// Runtime-weighted PMU allocation ratio per chip.
+    pub pmu_allocation: f64,
+    /// Wall-clock step time, seconds.
+    pub step_time_s: f64,
+    /// Whether the configuration crosses machine boundaries.
+    pub cross_machine: bool,
+}
+
+/// Shard each section's weights and compute over `degree` chips (Megatron
+/// style); boundary activations stay replicated.
+fn shard_sections(sections: &[Section], degree: u32) -> Vec<Section> {
+    let d = f64::from(degree);
+    sections
+        .iter()
+        .map(|s| {
+            let mut out = s.clone();
+            out.flops_per_invocation /= d;
+            out.weight_bytes = (s.weight_bytes as f64 / d) as u64;
+            for op in &mut out.ops {
+                op.flops /= d;
+            }
+            out
+        })
+        .collect()
+}
+
+/// Execute `workload` tensor-parallel over `degree` RDUs under `mode`.
+///
+/// Within one SN30 node (two RDUs) the allreduce rides the fast RDU-Connect
+/// link; beyond that it crosses machine links an order of magnitude slower,
+/// which is the paper's observed 40% throughput cliff from TP2 to TP4.
+///
+/// # Errors
+///
+/// [`PlatformError::Unsupported`] when `degree` is zero or not a power of
+/// two (the only layouts SambaFlow exposes).
+pub fn tensor_parallel(
+    spec: &RduSpec,
+    params: &RduCompilerParams,
+    mode: CompilationMode,
+    workload: &TrainingWorkload,
+    degree: u32,
+) -> Result<TpPlan, PlatformError> {
+    if degree == 0 || !degree.is_power_of_two() {
+        return Err(PlatformError::Unsupported(format!(
+            "TP degree must be a positive power of two, got {degree}"
+        )));
+    }
+
+    let sections = partition(workload, spec, params, mode);
+    let sharded = shard_sections(&sections, degree);
+    let exec = execute_sections(&sharded, workload, spec, params);
+
+    // Megatron-style TP: two allreduces per layer per pass (fwd + bwd), on
+    // B×S×h activations, volume scaled by (d-1)/d.
+    let model = workload.model();
+    let d = f64::from(degree);
+    let eb = workload.precision().bytes_per_element() as f64;
+    let volume = 4.0
+        * model.num_layers as f64
+        * workload.tokens_per_step() as f64
+        * model.hidden_size as f64
+        * eb
+        * (d - 1.0)
+        / d;
+    let cross_machine = u64::from(degree) > spec.rdus_per_node;
+    let link_bw = if cross_machine {
+        spec.inter_node_bw_bytes_per_s
+    } else {
+        spec.intra_node_bw_bytes_per_s
+    };
+    let comm_time = if degree == 1 { 0.0 } else { volume / link_bw };
+
+    let step_time = exec.step_time_s + comm_time;
+    let comm_fraction = comm_time / step_time;
+
+    // Runtime-weighted allocation per chip: compute sections keep their
+    // unit claims, the communication phase holds only the DMA fabric
+    // (Fig. 11(b)'s allocation collapse under cross-machine TP).
+    let total_units = spec.pcu_count() as f64;
+    let compute_pcu: f64 = sharded
+        .iter()
+        .zip(&exec.timings)
+        .map(|(s, t)| s.pcus as f64 / total_units * t.runtime_s)
+        .sum::<f64>();
+    let compute_pmu: f64 = sharded
+        .iter()
+        .zip(&exec.timings)
+        .map(|(s, t)| s.pmus as f64 / spec.pmu_count() as f64 * t.runtime_s)
+        .sum::<f64>();
+    let comm_pcu = 64.0 / total_units * comm_time;
+    let comm_pmu = 160.0 / spec.pmu_count() as f64 * comm_time;
+    let pcu_allocation = (compute_pcu + comm_pcu) / step_time;
+    let pmu_allocation = (compute_pmu + comm_pmu) / step_time;
+
+    Ok(TpPlan {
+        degree,
+        throughput_tokens_per_s: workload.tokens_per_step() as f64 / step_time,
+        communication_fraction: comm_fraction,
+        pcu_allocation,
+        pmu_allocation,
+        step_time_s: step_time,
+        cross_machine,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dabench_model::{ModelConfig, Precision};
+
+    fn llama7b() -> TrainingWorkload {
+        TrainingWorkload::new(ModelConfig::llama2_7b(), 8, 4096, Precision::Bf16)
+    }
+
+    fn tp(degree: u32) -> TpPlan {
+        tensor_parallel(
+            &RduSpec::sn30(),
+            &RduCompilerParams::default(),
+            CompilationMode::O1,
+            &llama7b(),
+            degree,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tp2_to_tp4_cliff() {
+        // Paper Table III: 1540 → 945 tokens/s (≈40% drop) crossing the
+        // machine boundary.
+        let t2 = tp(2);
+        let t4 = tp(4);
+        assert!(!t2.cross_machine);
+        assert!(t4.cross_machine);
+        let drop = 1.0 - t4.throughput_tokens_per_s / t2.throughput_tokens_per_s;
+        assert!((0.25..0.55).contains(&drop), "{drop}");
+    }
+
+    #[test]
+    fn tp4_to_tp8_minimal_drop() {
+        // Paper: 945 → 918 tokens/s.
+        let t4 = tp(4);
+        let t8 = tp(8);
+        let drop = 1.0 - t8.throughput_tokens_per_s / t4.throughput_tokens_per_s;
+        assert!((-0.05..0.15).contains(&drop), "{drop}");
+    }
+
+    #[test]
+    fn cross_machine_collapses_allocation() {
+        // Paper Fig. 11(b): cross-machine TP cuts per-chip PCU allocation
+        // by ~40% and PMU by ~25%.
+        let t2 = tp(2);
+        let t4 = tp(4);
+        let pcu_drop = 1.0 - t4.pcu_allocation / t2.pcu_allocation;
+        let pmu_drop = 1.0 - t4.pmu_allocation / t2.pmu_allocation;
+        assert!((0.2..0.6).contains(&pcu_drop), "{pcu_drop}");
+        assert!(pmu_drop > 0.05, "{pmu_drop}");
+        assert!(pmu_drop < pcu_drop, "{pmu_drop} vs {pcu_drop}");
+    }
+
+    #[test]
+    fn invalid_degrees_rejected() {
+        for d in [0u32, 3, 6] {
+            let err = tensor_parallel(
+                &RduSpec::sn30(),
+                &RduCompilerParams::default(),
+                CompilationMode::O1,
+                &llama7b(),
+                d,
+            )
+            .unwrap_err();
+            assert!(matches!(err, PlatformError::Unsupported(_)), "{d}");
+        }
+    }
+
+    #[test]
+    fn tp1_has_no_communication() {
+        let t1 = tp(1);
+        assert_eq!(t1.communication_fraction, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Kernel placement on the PE grid.
+//!
+//! The modelled placer follows the Cerebras pipeline layout: kernels are
+//! placed as full-height vertical strips, left to right in dataflow order,
+//! so that data streams across the wafer and kernels with data dependencies
+//! are physically adjacent (Sec. III-A: "kernels with data dependencies are
+//! placed physically close to each other").
+
+use serde::{Deserialize, Serialize};
+
+/// One placed kernel region: a full-height strip of the grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedRect {
+    /// Kernel name.
+    pub name: String,
+    /// First column of the strip.
+    pub col: u64,
+    /// Strip width in columns.
+    pub width: u64,
+    /// Strip height in rows (the full usable grid height).
+    pub rows: u64,
+    /// Logical PEs the kernel actually uses inside the strip.
+    pub used_pes: u64,
+}
+
+impl PlacedRect {
+    /// Grid area of the strip (≥ `used_pes`).
+    #[must_use]
+    pub fn area(&self) -> u64 {
+        self.width * self.rows
+    }
+
+    /// PEs lost to column rounding inside this strip.
+    #[must_use]
+    pub fn padding(&self) -> u64 {
+        self.area() - self.used_pes
+    }
+
+    /// Horizontal center of the strip (for distance estimates).
+    #[must_use]
+    pub fn center_col(&self) -> f64 {
+        self.col as f64 + self.width as f64 / 2.0
+    }
+}
+
+/// A complete placement of kernels on the grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Placed strips, in dataflow order.
+    pub rects: Vec<PlacedRect>,
+    /// Grid rows available to the placer.
+    pub grid_rows: u64,
+    /// Grid columns available to the placer.
+    pub grid_cols: u64,
+}
+
+impl Placement {
+    /// Place `regions` (name, PE count) as adjacent full-height strips.
+    ///
+    /// Returns `None` when the strips do not fit horizontally.
+    #[must_use]
+    pub fn strips(regions: &[(String, u64)], grid_rows: u64, grid_cols: u64) -> Option<Self> {
+        assert!(grid_rows > 0 && grid_cols > 0, "grid must be non-empty");
+        let mut rects = Vec::with_capacity(regions.len());
+        let mut col = 0u64;
+        for (name, pes) in regions {
+            let width = pes.div_ceil(grid_rows).max(1);
+            if col + width > grid_cols {
+                return None;
+            }
+            rects.push(PlacedRect {
+                name: name.clone(),
+                col,
+                width,
+                rows: grid_rows,
+                used_pes: *pes,
+            });
+            col += width;
+        }
+        Some(Self {
+            rects,
+            grid_rows,
+            grid_cols,
+        })
+    }
+
+    /// Total logical PEs in use.
+    #[must_use]
+    pub fn used_pes(&self) -> u64 {
+        self.rects.iter().map(|r| r.used_pes).sum()
+    }
+
+    /// Total grid area consumed (used + padding).
+    #[must_use]
+    pub fn occupied_area(&self) -> u64 {
+        self.rects.iter().map(PlacedRect::area).sum()
+    }
+
+    /// PEs lost to rounding/fragmentation.
+    #[must_use]
+    pub fn fragmentation_pes(&self) -> u64 {
+        self.occupied_area() - self.used_pes()
+    }
+
+    /// Mean center-to-center distance (in columns) between consecutive
+    /// kernels — the dataflow communication distance.
+    #[must_use]
+    pub fn mean_hop_distance(&self) -> f64 {
+        if self.rects.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for pair in self.rects.windows(2) {
+            acc += (pair[1].center_col() - pair[0].center_col()).abs();
+        }
+        acc / (self.rects.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(sizes: &[u64]) -> Vec<(String, u64)> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (format!("k{i}"), s))
+            .collect()
+    }
+
+    #[test]
+    fn strips_fill_left_to_right() {
+        let p = Placement::strips(&regions(&[100, 100]), 10, 30).unwrap();
+        assert_eq!(p.rects[0].col, 0);
+        assert_eq!(p.rects[0].width, 10);
+        assert_eq!(p.rects[1].col, 10);
+    }
+
+    #[test]
+    fn overflow_returns_none() {
+        assert!(Placement::strips(&regions(&[200, 200]), 10, 30).is_none());
+    }
+
+    #[test]
+    fn padding_accounts_rounding() {
+        let p = Placement::strips(&regions(&[95]), 10, 30).unwrap();
+        assert_eq!(p.rects[0].width, 10);
+        assert_eq!(p.fragmentation_pes(), 5);
+        assert_eq!(p.used_pes(), 95);
+    }
+
+    #[test]
+    fn exact_fit_has_no_padding() {
+        let p = Placement::strips(&regions(&[100, 50]), 10, 15).unwrap();
+        assert_eq!(p.fragmentation_pes(), 0);
+        assert_eq!(p.occupied_area(), 150);
+    }
+
+    #[test]
+    fn hop_distance_grows_with_strip_width() {
+        let narrow = Placement::strips(&regions(&[10, 10]), 10, 100).unwrap();
+        let wide = Placement::strips(&regions(&[500, 500]), 10, 100).unwrap();
+        assert!(wide.mean_hop_distance() > narrow.mean_hop_distance());
+    }
+
+    #[test]
+    fn single_kernel_distance_zero() {
+        let p = Placement::strips(&regions(&[10]), 10, 100).unwrap();
+        assert_eq!(p.mean_hop_distance(), 0.0);
+    }
+}

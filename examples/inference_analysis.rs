@@ -1,0 +1,77 @@
+//! Inference extension: prefill-vs-decode arithmetic intensity under each
+//! platform's roofline — why autoregressive decode is memory-bound on
+//! every architecture, and roughly what batch size each platform needs to
+//! leave that regime. Extends the paper's training-only scope (DESIGN.md).
+//!
+//! Run with:
+//! ```text
+//! cargo run --example inference_analysis
+//! ```
+
+use dabench::core::metrics::Roofline;
+use dabench::core::Platform;
+use dabench::ipu::Ipu;
+use dabench::model::{InferenceWorkload, ModelConfig, Precision};
+use dabench::rdu::{CompilationMode, Rdu};
+use dabench::wse::Wse;
+
+fn main() {
+    let model = ModelConfig::llama2_7b();
+    println!("Model: {model}\n");
+
+    println!("== Prefill vs decode arithmetic intensity (batch sweep) ==");
+    println!("batch | prefill AI | decode AI (at ctx 512)");
+    for batch in [1u64, 4, 16, 64, 256] {
+        let w = InferenceWorkload::new(model.clone(), batch, 512, 128, Precision::Fp16);
+        println!(
+            "{batch:5} | {:10.0} | {:10.1}",
+            w.prefill_cost().intensity,
+            w.decode_step_cost(512).intensity
+        );
+    }
+    println!();
+
+    println!("== Decode under each platform's global-memory roofline ==");
+    let wse = Wse::default();
+    let rdu = Rdu::with_mode(CompilationMode::O3);
+    let ipu = Ipu::default();
+    let platforms: Vec<&dyn Platform> = vec![&wse, &rdu, &ipu];
+    for p in platforms {
+        let spec = p.spec();
+        let Some(bw) = spec.global_memory().and_then(|m| m.bandwidth_bytes_per_s) else {
+            continue;
+        };
+        let roof = Roofline::new(spec.peak_tflops, bw);
+        // Batch size at which decode crosses the ridge (becomes
+        // compute-bound): decode AI ≈ batch.
+        let ridge = roof.ridge_intensity();
+        let w1 = InferenceWorkload::new(model.clone(), 1, 512, 1, Precision::Fp16);
+        let ai1 = w1.decode_step_cost(512).intensity;
+        let batch_at_ridge = (ridge / ai1).ceil();
+        println!(
+            "{:20} ridge {:8.1} FLOPs/B → single-stream decode {} ({:.1} FLOPs/B); \
+             compute-bound needs batch ≳ {:.0}",
+            p.name(),
+            ridge,
+            roof.classify(ai1),
+            ai1,
+            batch_at_ridge
+        );
+    }
+    println!();
+
+    println!("== KV-cache budget per sequence (context 4096, fp16) ==");
+    for m in [ModelConfig::llama2_7b(), ModelConfig::llama2_70b()] {
+        let w = InferenceWorkload::new(m.clone(), 1, 4096, 1, Precision::Fp16);
+        println!(
+            "{:12} {:7.2} GB ({} KV heads)",
+            m.name,
+            w.kv_cache_bytes_per_seq(4096) as f64 / 1e9,
+            m.num_kv_heads
+        );
+    }
+    println!(
+        "\nGQA on the 70B model cuts the per-token cache 8×, which is what \
+         keeps large-batch decode feasible at all on DDR-backed platforms."
+    );
+}

@@ -1,0 +1,38 @@
+//! Regenerate every table and figure of the paper's evaluation in one run.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example paper_tables
+//! ```
+
+use dabench::experiments::{fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, table2, table3, table4};
+
+fn main() {
+    println!("{}", table1::render(&table1::run()));
+
+    let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
+    println!("{a}");
+    println!("{b}");
+
+    println!("{}", table3::render(&table3::run()));
+    println!("{}", table4::render(&table4::run()));
+
+    println!("{}", fig6::render(&fig6::run()));
+    println!("{}", fig7::render(&fig7::run_layers(), "a"));
+    println!("{}", fig7::render(&fig7::run_hidden_sizes(), "b"));
+    println!("{}", fig8::render(&fig8::run_layers(), "a"));
+    println!("{}", fig8::render(&fig8::run_hidden_sizes(), "b"));
+    for t in fig9::render(
+        &fig9::run_wse(),
+        &fig9::run_rdu_layers(),
+        &fig9::run_rdu_hidden(),
+        &fig9::run_ipu(),
+    ) {
+        println!("{t}");
+    }
+    println!("{}", fig10::render(&fig10::run()));
+    for t in fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()) {
+        println!("{t}");
+    }
+    println!("{}", fig12::render(&fig12::run()));
+}

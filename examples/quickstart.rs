@@ -1,0 +1,79 @@
+//! Quickstart: profile one LLM training workload on every modelled
+//! dataflow accelerator with the DABench-LLM two-tier framework.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dabench::core::{tier1, tier2, Platform};
+use dabench::ipu::Ipu;
+use dabench::model::{ModelConfig, Precision, TrainingWorkload};
+use dabench::rdu::{CompilationMode, Rdu};
+use dabench::wse::Wse;
+
+fn main() {
+    // The paper's workhorse probe: a GPT-2 decoder stack (hidden size 768).
+    let workload = TrainingWorkload::new(
+        ModelConfig::gpt2_probe(768, 6),
+        64,
+        1024,
+        Precision::Fp16,
+    );
+    println!("Workload: {workload}\n");
+
+    let wse = Wse::default();
+    let rdu = Rdu::with_mode(CompilationMode::O3);
+    let ipu = Ipu::default();
+    let platforms: Vec<&dyn Platform> = vec![&wse, &rdu, &ipu];
+
+    println!("=== Tier 1: intra-chip profiling ===");
+    for p in &platforms {
+        match tier1::run(*p, &workload) {
+            Ok(r) => {
+                println!("--- {} ---", r.platform);
+                for (kind, ratio) in &r.allocation {
+                    println!("  {kind} allocation ratio : {:.1}%", 100.0 * ratio);
+                }
+                if let Some(li) = r.load_imbalance {
+                    println!("  load imbalance (Eq.3): {li:.3}");
+                }
+                println!("  achieved              : {:.1} TFLOP/s", r.achieved_tflops);
+                println!(
+                    "  compute efficiency    : {:.1}% of {:.0} TFLOP/s peak",
+                    100.0 * r.compute_efficiency,
+                    r.peak_tflops
+                );
+                if let Some(bound) = r.bound {
+                    println!(
+                        "  roofline              : {bound} (AI = {:.0} FLOPs/B)",
+                        r.arithmetic_intensity
+                    );
+                }
+                println!(
+                    "  training throughput   : {:.3e} tokens/s",
+                    r.throughput_tokens_per_s
+                );
+            }
+            Err(e) => println!("--- {} --- failed: {e}", p.name()),
+        }
+        println!();
+    }
+
+    println!("=== Tier 2: deployment optimization ===");
+    for p in &platforms {
+        let report = tier2::run(
+            *p,
+            &workload,
+            &[8, 16, 32, 64, 128, 256],
+            &[Precision::Fp32, Precision::Fp16],
+        );
+        println!("--- {} ---", report.platform);
+        if let Some(b) = report.saturation_batch(0.9) {
+            println!("  batch reaching 90% of best throughput: {b}");
+        }
+        if let Some(g) = report.precision_gain() {
+            println!("  best-vs-worst precision gain: {:+.1}%", 100.0 * g);
+        }
+    }
+}

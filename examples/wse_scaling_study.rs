@@ -1,0 +1,111 @@
+//! WSE-2 scaling study: how deep a GPT-2 stack fits on the wafer, where
+//! the allocation plateau sits, what batch size saturates the pipeline,
+//! and when to switch to replicas or weight streaming.
+//!
+//! This is the paper's Cerebras story (Table I, Figs. 6/9(a)/11(a)/12)
+//! replayed as a deployment study.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example wse_scaling_study
+//! ```
+
+use dabench::core::metrics::scaling_efficiency;
+use dabench::core::PlatformError;
+use dabench::model::{ModelConfig, Precision, TrainingWorkload};
+use dabench::wse::{compile, data_parallel, execute, weight_streaming, KernelKind, Wse};
+
+fn probe(layers: u64, batch: u64) -> TrainingWorkload {
+    TrainingWorkload::new(
+        ModelConfig::gpt2_probe(768, layers),
+        batch,
+        1024,
+        Precision::Fp16,
+    )
+}
+
+fn main() {
+    let wse = Wse::default();
+    let (spec, params) = (wse.wse_spec(), wse.compiler_params());
+
+    println!("== Depth sweep: allocation, memory and throughput ==");
+    println!("layers |  alloc% | attn-kernel PEs | config KB/PE | TFLOP/s");
+    let mut deepest_ok = 0;
+    for layers in [1u64, 6, 12, 18, 24, 36, 48, 60, 72, 78] {
+        let w = probe(layers, 256);
+        match compile(spec, params, &w, None) {
+            Ok(c) => {
+                deepest_ok = layers;
+                let e = execute(spec, params, &c, &w);
+                let attn = c
+                    .kernel(KernelKind::Attention { layer: 0 })
+                    .expect("attention kernel");
+                println!(
+                    "{layers:6} | {:6.1}% | {:15} | {:12.1} | {:7.1}",
+                    100.0 * c.allocation_ratio(),
+                    attn.comp_pes,
+                    attn.config_bytes_per_pe / 1024.0,
+                    e.achieved_tflops
+                );
+            }
+            Err(PlatformError::OutOfMemory { level, .. }) => {
+                println!("{layers:6} | compile fails: out of memory at `{level}`");
+            }
+            Err(e) => println!("{layers:6} | compile fails: {e}"),
+        }
+    }
+    println!("→ deepest resident model: {deepest_ok} layers\n");
+
+    println!("== Batch saturation (the ≥200 rule) ==");
+    let mut last = 0.0;
+    for batch in [25u64, 50, 100, 200, 400, 800] {
+        let w = probe(12, batch);
+        let c = compile(spec, params, &w, None).expect("12 layers compile");
+        let e = execute(spec, params, &c, &w);
+        let gain = if last > 0.0 {
+            format!("{:+.1}% vs previous", 100.0 * (e.throughput_tokens_per_s / last - 1.0))
+        } else {
+            String::new()
+        };
+        println!(
+            "batch {batch:4}: {:.3e} tokens/s  (pipeline eff {:.2})  {gain}",
+            e.throughput_tokens_per_s, e.pipeline_efficiency
+        );
+        last = e.throughput_tokens_per_s;
+    }
+    println!();
+
+    println!("== Intra-chip data parallelism (gpt2-mini) ==");
+    let mini = TrainingWorkload::new(ModelConfig::gpt2_mini(), 256, 1024, Precision::Fp16);
+    let base = data_parallel(spec, params, &mini, 1)
+        .expect("mini maps")
+        .net_tokens_per_s;
+    for replicas in [1u32, 2, 4, 8] {
+        let plan = data_parallel(spec, params, &mini, replicas).expect("mini replicates");
+        let eff = scaling_efficiency(base, plan.net_tokens_per_s, replicas)
+            .expect("positive throughputs");
+        println!(
+            "replicas {replicas}: net {:.3e} tokens/s (comm {:.1}%, scaling eff {:.0}%{})",
+            plan.net_tokens_per_s,
+            100.0 * plan.communication_fraction,
+            100.0 * eff.efficiency,
+            eff.serial_fraction
+                .map(|e| format!(", Karp-Flatt e={e:.3}"))
+                .unwrap_or_default()
+        );
+    }
+    println!();
+
+    println!("== Weight streaming for models past the residency limit ==");
+    for layers in [12u64, 96] {
+        let w = probe(layers, 256);
+        let resident = compile(spec, params, &w, None).is_ok();
+        let ws = weight_streaming(spec, params, &w).expect("streaming always maps");
+        println!(
+            "{layers} layers: resident compile {} | streaming {:.3e} tokens/s (stream share {:.1}%)",
+            if resident { "ok" } else { "FAILS" },
+            ws.throughput_tokens_per_s,
+            100.0 * ws.streaming_fraction
+        );
+    }
+}

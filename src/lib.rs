@@ -1,0 +1,3 @@
+//! Workspace facade: re-exports the `dabench` crate for examples and
+//! integration tests.
+pub use dabench::*;

@@ -1,0 +1,141 @@
+//! Cross-crate integration: the DABench-LLM framework driving every
+//! platform model through the same `Platform` / `Scalable` interfaces.
+
+use dabench::core::{tier1, tier2, ParallelStrategy, Platform, Scalable};
+use dabench::gpu::GpuCluster;
+use dabench::ipu::Ipu;
+use dabench::model::{ModelConfig, Precision, TrainingWorkload};
+use dabench::rdu::{CompilationMode, Rdu};
+use dabench::wse::Wse;
+
+fn probe() -> TrainingWorkload {
+    TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 32, 1024, Precision::Fp16)
+}
+
+fn all_platforms() -> Vec<Box<dyn Platform>> {
+    vec![
+        Box::new(Wse::default()),
+        Box::new(Rdu::with_mode(CompilationMode::O0)),
+        Box::new(Rdu::with_mode(CompilationMode::O1)),
+        Box::new(Rdu::with_mode(CompilationMode::O3)),
+        Box::new(Ipu::default()),
+        Box::new(GpuCluster::default()),
+    ]
+}
+
+#[test]
+fn tier1_runs_on_every_platform() {
+    let w = probe();
+    for p in all_platforms() {
+        let r = tier1::run(p.as_ref(), &w)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+        assert!(r.achieved_tflops > 0.0, "{}", p.name());
+        assert!(r.throughput_tokens_per_s > 0.0, "{}", p.name());
+        assert!(r.step_time_s > 0.0, "{}", p.name());
+        assert!(
+            r.compute_efficiency > 0.0 && r.compute_efficiency < 1.0,
+            "{}: {}",
+            p.name(),
+            r.compute_efficiency
+        );
+        for (kind, ratio) in &r.allocation {
+            assert!(
+                (0.0..=1.0).contains(ratio),
+                "{}/{kind}: {ratio}",
+                p.name()
+            );
+        }
+        if let Some(li) = r.load_imbalance {
+            assert!((0.0..=1.0 + 1e-9).contains(&li), "{}: {li}", p.name());
+        }
+    }
+}
+
+#[test]
+fn tier1_report_debug_is_complete() {
+    let r = tier1::run(&Wse::default(), &probe()).unwrap();
+    let dump = format!("{r:?}");
+    assert!(dump.contains("allocation"));
+    assert!(dump.contains("throughput_tokens_per_s"));
+}
+
+#[test]
+fn tier2_batch_sweeps_are_consistent() {
+    let w = probe();
+    for p in all_platforms() {
+        let pts = tier2::batch_sweep(p.as_ref(), &w, &[8, 16, 32]);
+        assert_eq!(pts.len(), 3);
+        let ok: Vec<f64> = pts.iter().filter_map(|x| x.throughput_tokens_per_s).collect();
+        assert!(!ok.is_empty(), "{}", p.name());
+        // Throughput never decreases over this small range on any platform.
+        assert!(
+            ok.windows(2).all(|v| v[1] >= v[0] * 0.99),
+            "{}: {ok:?}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn each_platform_supports_exactly_its_strategy() {
+    let w = probe();
+    let wse = Wse::default();
+    let rdu = Rdu::with_mode(CompilationMode::O3);
+    let ipu = Ipu::default();
+
+    assert!(wse.scale(&w, ParallelStrategy::DataParallel { replicas: 2 }).is_ok());
+    assert!(wse.scale(&w, ParallelStrategy::TensorParallel { degree: 2 }).is_err());
+
+    assert!(rdu.scale(&w, ParallelStrategy::TensorParallel { degree: 2 }).is_ok());
+    assert!(rdu.scale(&w, ParallelStrategy::DataParallel { replicas: 2 }).is_err());
+
+    assert!(ipu.scale(&w, ParallelStrategy::PipelineParallel { devices: 4 }).is_ok());
+    assert!(ipu.scale(&w, ParallelStrategy::WeightStreaming).is_err());
+}
+
+#[test]
+fn hardware_specs_are_internally_consistent() {
+    for p in all_platforms() {
+        let spec = p.spec();
+        assert!(spec.peak_tflops > 0.0, "{}", p.name());
+        assert!(!spec.compute_units.is_empty(), "{}", p.name());
+        for level in &spec.memory_levels {
+            assert!(level.capacity_bytes > 0, "{}/{}", p.name(), level.name);
+            if let Some(bw) = level.bandwidth_bytes_per_s {
+                assert!(bw > 0.0, "{}/{}", p.name(), level.name);
+            }
+        }
+        assert!(spec.global_memory().is_some(), "{}", p.name());
+    }
+}
+
+#[test]
+fn oom_errors_identify_the_level() {
+    use dabench::core::PlatformError;
+    // IPU at 10 layers, WSE at 78 layers: the paper's two failure points.
+    let ipu_err = Ipu::default()
+        .profile(&TrainingWorkload::new(
+            ModelConfig::gpt2_probe(768, 10),
+            64,
+            1024,
+            Precision::Fp16,
+        ))
+        .unwrap_err();
+    match ipu_err {
+        PlatformError::OutOfMemory { level, required_bytes, capacity_bytes } => {
+            assert_eq!(level, "tile-sram");
+            assert!(required_bytes > capacity_bytes);
+        }
+        other => panic!("unexpected: {other}"),
+    }
+
+    let wse_err = Wse::default()
+        .profile(&TrainingWorkload::new(
+            ModelConfig::gpt2_probe(768, 78),
+            256,
+            1024,
+            Precision::Fp16,
+        ))
+        .unwrap_err();
+    assert!(matches!(wse_err, PlatformError::OutOfMemory { .. }));
+}

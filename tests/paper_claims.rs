@@ -1,0 +1,135 @@
+//! End-to-end checks of the paper's headline claims (the "Insight" boxes
+//! of Secs. V and VI), each verified through the public experiment API.
+
+use dabench::experiments::{fig10, fig11, fig12, fig7, fig8, table1, table3, table4};
+use dabench::core::BoundKind;
+
+/// Sec. V-A insight: the WSE-2 reaches a 92-93% allocation plateau but
+/// fails around ~500M parameters (78 layers at HS 768).
+#[test]
+fn wse_allocation_plateau_and_failure() {
+    let rows = table1::run();
+    let plateau: Vec<f64> = rows
+        .iter()
+        .filter(|r| (36..=72).contains(&r.layers))
+        .filter_map(|r| r.allocation_pct)
+        .collect();
+    assert!(!plateau.is_empty());
+    for v in &plateau {
+        assert!((0.85..0.95).contains(v), "{v}");
+    }
+    assert!(rows.iter().any(|r| r.layers == 78 && r.allocation_pct.is_none()));
+}
+
+/// Sec. V-A insight: RDU allocation stays below ~60% despite unlimited
+/// scalability, with O3 highest and O0 lowest.
+#[test]
+fn rdu_allocation_ceiling_and_mode_order() {
+    let rows = fig7::run_layers();
+    let series = |m: &str| -> Vec<f64> {
+        rows.iter()
+            .filter(|r| r.mode == m)
+            .map(|r| r.pcu_allocation)
+            .collect()
+    };
+    let o0 = series("o0");
+    let o3 = series("o3");
+    for (a, b) in o0.iter().zip(&o3) {
+        assert!(a < b, "O0 {a} !< O3 {b}");
+    }
+    for v in o3 {
+        assert!(v < 0.70, "{v}");
+    }
+}
+
+/// Sec. V-B insight: WSE-2 balances well at kernel level; O1 balances far
+/// better than O3 at operator level.
+#[test]
+fn load_balance_hierarchy() {
+    let rows = fig8::run_layers();
+    let min_of = |s: &str| {
+        rows.iter()
+            .filter(|r| r.series == s)
+            .map(|r| r.li)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let max_of = |s: &str| {
+        rows.iter()
+            .filter(|r| r.series == s)
+            .map(|r| r.li)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(min_of("wse") > 0.94);
+    assert!(min_of("rdu-o1") > max_of("rdu-o3"));
+}
+
+/// Sec. V-C insight: only the WSE stays compute-bound; RDU and IPU are
+/// memory-bound at the global-memory level.
+#[test]
+fn roofline_classification() {
+    for p in fig10::run() {
+        let expect = if p.platform.contains("wse") {
+            BoundKind::ComputeBound
+        } else {
+            BoundKind::MemoryBound
+        };
+        assert_eq!(p.bound, expect, "{p:?}");
+    }
+}
+
+/// Sec. VI-A insights: WSE DP comm grows with replicas; RDU cross-machine
+/// TP collapses both throughput and per-chip utilization; IPU throughput
+/// is set by the most-loaded device.
+#[test]
+fn scalability_insights() {
+    let wse = fig11::run_wse();
+    assert!(wse.windows(2).all(|w| w[1].comm_fraction >= w[0].comm_fraction));
+
+    let rdu = fig11::run_rdu();
+    let tp2 = rdu.iter().find(|r| r.degree == 2).unwrap();
+    let tp4 = rdu.iter().find(|r| r.degree == 4).unwrap();
+    assert!(tp4.pcu < tp2.pcu * 0.8);
+
+    let ipu = fig11::run_ipu();
+    let best = ipu.iter().map(|r| r.max_layers).min().unwrap();
+    let best_t = ipu
+        .iter()
+        .filter(|r| r.max_layers == best)
+        .map(|r| r.throughput)
+        .fold(0.0f64, f64::max);
+    for r in &ipu {
+        assert!(r.throughput <= best_t * 1.0001, "{r:?}");
+    }
+}
+
+/// Sec. VI-B insight: batch ≥ ~200 on the WSE; near-linear elsewhere.
+#[test]
+fn batch_size_guidance() {
+    let series = fig12::run();
+    let wse = series.iter().find(|s| s.platform.contains("wse")).unwrap();
+    let knee = wse.saturation_batch(0.85).unwrap();
+    assert!((100..=300).contains(&knee), "{knee}");
+}
+
+/// Sec. VI-B insight: precision sensitivity orders RDU > IPU > WSE.
+#[test]
+fn precision_sensitivity_order() {
+    let rows = table4::run();
+    let rdu = table4::gain(&rows, "RDU (7B)").unwrap();
+    let ipu = table4::gain(&rows, "IPU").unwrap();
+    let wse = table4::gain(&rows, "WSE").unwrap();
+    assert!(rdu > ipu && ipu > wse, "rdu={rdu} ipu={ipu} wse={wse}");
+}
+
+/// Table III shape: every configured column produces a value (no silent
+/// holes), and the full table renders.
+#[test]
+fn table3_is_fully_populated() {
+    let rows = table3::run();
+    assert_eq!(rows.len(), 22);
+    for r in &rows {
+        assert!(r.throughput.is_some(), "{} {} missing", r.device, r.configuration);
+    }
+    let rendered = table3::render(&rows).to_string();
+    assert!(rendered.lines().count() >= 24);
+}
