@@ -8,7 +8,11 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     println!(
         "\n{}",
-        ablations::render("Ablation: RDU operator fusion", "fused", &ablations::rdu_fusion())
+        ablations::render(
+            "Ablation: RDU operator fusion",
+            "fused",
+            &ablations::rdu_fusion()
+        )
     );
     println!(
         "{}",

@@ -7,7 +7,9 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", fig6::render(&fig6::run()));
-    c.bench_function("fig6_wse_pe_breakdown", |b| b.iter(|| black_box(fig6::run())));
+    c.bench_function("fig6_wse_pe_breakdown", |b| {
+        b.iter(|| black_box(fig6::run()))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod faults;
 pub mod metrics;
 mod platform;
 mod report;
@@ -42,8 +43,11 @@ pub mod tier1;
 pub mod tier2;
 
 pub use error::PlatformError;
+pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultSet, RecoveryCost};
 pub use platform::{
     ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,
     ParallelStrategy, Platform, Scalable, ScalingProfile, SectionProfile, TaskProfile,
 };
-pub use report::{batch_saturation_point, BatchPoint, BoundKind, PrecisionPoint, Tier1Report, Tier2Report};
+pub use report::{
+    batch_saturation_point, BatchPoint, BoundKind, PrecisionPoint, Tier1Report, Tier2Report,
+};

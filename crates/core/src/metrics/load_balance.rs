@@ -39,7 +39,7 @@ pub fn load_imbalance(tasks: &[TaskProfile]) -> Option<f64> {
         .iter()
         .map(|t| t.throughput)
         .fold(f64::INFINITY, f64::min);
-    if !(t_min > 0.0) {
+    if t_min.is_nan() || t_min <= 0.0 {
         return None;
     }
     let total_r: f64 = tasks.iter().map(|t| t.resources).sum();

@@ -92,7 +92,12 @@ impl Roofline {
 
     /// Evaluate a labelled workload point.
     #[must_use]
-    pub fn evaluate(&self, label: impl Into<String>, ai: f64, achieved_tflops: f64) -> RooflinePoint {
+    pub fn evaluate(
+        &self,
+        label: impl Into<String>,
+        ai: f64,
+        achieved_tflops: f64,
+    ) -> RooflinePoint {
         RooflinePoint {
             label: label.into(),
             intensity: ai,

@@ -154,7 +154,10 @@ pub fn batch_saturation_point(points: &[BatchPoint], fraction: f64) -> Option<u6
     }
     points
         .iter()
-        .filter(|p| p.throughput_tokens_per_s.is_some_and(|t| t >= fraction * best))
+        .filter(|p| {
+            p.throughput_tokens_per_s
+                .is_some_and(|t| t >= fraction * best)
+        })
         .map(|p| p.batch_size)
         .min()
 }

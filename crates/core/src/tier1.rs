@@ -85,14 +85,17 @@ pub fn profile_load_imbalance(profile: &ChipProfile) -> Option<f64> {
 ///     println!("allocation: {:?}", report.allocation);
 /// }
 /// ```
-pub fn run(platform: &dyn Platform, workload: &TrainingWorkload) -> Result<Tier1Report, PlatformError> {
+pub fn run(
+    platform: &dyn Platform,
+    workload: &TrainingWorkload,
+) -> Result<Tier1Report, PlatformError> {
     let spec = platform.spec();
     let profile = platform.profile(workload)?;
 
     let allocation = allocation_ratios(&profile);
     let li = profile_load_imbalance(&profile);
-    let eff = compute_efficiency(profile.achieved_tflops, spec.peak_tflops)
-        .map_or(0.0, |e| e.efficiency);
+    let eff =
+        compute_efficiency(profile.achieved_tflops, spec.peak_tflops).map_or(0.0, |e| e.efficiency);
 
     let ai = workload.arithmetic_intensity();
     let (attainable, bound) = match spec.global_memory().and_then(|m| m.bandwidth_bytes_per_s) {

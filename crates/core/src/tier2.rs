@@ -132,7 +132,11 @@ mod tests {
             }
             let b = w.batch_size() as f64;
             let base = 1000.0 * b / (b + 8.0);
-            let factor = if w.precision().is_half_width() { 1.3 } else { 1.0 };
+            let factor = if w.precision().is_half_width() {
+                1.3
+            } else {
+                1.0
+            };
             Ok(ChipProfile {
                 unit_usage: vec![("pe".into(), 1, 1)],
                 tasks: vec![],

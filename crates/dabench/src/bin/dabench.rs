@@ -13,11 +13,12 @@
 //!       --precision fp16|bf16|cb16|fp32  --model gpt2-small|gpt2-xl|llama2-7b
 //! ```
 
-use dabench::core::{tier1, Platform};
+use dabench::core::{tier1, Degradable, Platform};
 use dabench::experiments::{
     ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, summary, table1, table2,
     table3, table4, validation,
 };
+use dabench::faults::{render_report, resilience_sweep, PlanSpec};
 use dabench::gpu::GpuCluster;
 use dabench::ipu::Ipu;
 use dabench::model::{ModelConfig, Precision, TrainingWorkload};
@@ -117,6 +118,56 @@ fn platform(name: &str) -> Result<Box<dyn Platform>, String> {
     })
 }
 
+fn degradable(name: &str) -> Result<Box<dyn Degradable>, String> {
+    Ok(match name {
+        "wse" => Box::new(Wse::default()),
+        "rdu-o0" => Box::new(Rdu::with_mode(CompilationMode::O0)),
+        "rdu-o1" => Box::new(Rdu::with_mode(CompilationMode::O1)),
+        "rdu" | "rdu-o3" => Box::new(Rdu::with_mode(CompilationMode::O3)),
+        "ipu" => Box::new(Ipu::default()),
+        "gpu" => return Err("the GPU reference has no dataflow fault model".to_owned()),
+        other => return Err(format!("unknown platform `{other}`")),
+    })
+}
+
+/// Run a resilience sweep: `dabench faults <platform> [--seed N] [--plan
+/// SPEC] [workload opts]`.
+fn run_faults(rest: &[String]) -> Result<(), String> {
+    let (name, flags) = rest
+        .split_first()
+        .ok_or_else(|| "faults needs a platform (wse|rdu-o0|rdu-o1|rdu-o3|ipu)".to_owned())?;
+    let mut seed = 42u64;
+    let mut plan = PlanSpec::default();
+    let mut passthrough = Vec::new();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or_else(|| "--seed needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--plan" => {
+                plan = it
+                    .next()
+                    .ok_or_else(|| "--plan needs a value".to_owned())?
+                    .parse()
+                    .map_err(|e| format!("--plan: {e}"))?;
+            }
+            other => passthrough.push(other.to_owned()),
+        }
+    }
+    let platform = degradable(name)?;
+    let opts = parse_opts(&passthrough)?;
+    let w = workload(&opts)?;
+    let report = resilience_sweep(platform.as_ref(), &w, &plan, seed);
+    println!("Workload: {w}\n");
+    print!("{}", render_report(&report));
+    Ok(())
+}
+
 /// All table/figure command names, in paper order.
 const EXPERIMENTS: [&str; 11] = [
     "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
@@ -183,7 +234,11 @@ fn print_ablations() {
     );
     println!(
         "{}",
-        ablations::render("Ablation: RDU operator fusion", "fused", &ablations::rdu_fusion())
+        ablations::render(
+            "Ablation: RDU operator fusion",
+            "fused",
+            &ablations::rdu_fusion()
+        )
     );
     println!(
         "{}",
@@ -215,8 +270,10 @@ fn usage() -> &'static str {
        check                             reproduction scorecard (all claims)\n\
        tier1 <wse|rdu-o0|rdu-o1|rdu-o3|ipu|gpu>  profile one workload\n\
        summary                           all platforms, one workload\n\
+       faults <wse|rdu-o0|rdu-o1|rdu-o3|ipu>     resilience sweep\n\
      options: --hidden N --layers N --batch N --seq N\n\
-              --precision fp16|bf16|cb16|fp32 --model <preset>"
+              --precision fp16|bf16|cb16|fp32 --model <preset>\n\
+     faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N"
 }
 
 fn main() -> ExitCode {
@@ -299,6 +356,7 @@ fn main() -> ExitCode {
                     Err(e) => Err(format!("{name} cannot run {w}: {e}")),
                 }
             }),
+        "faults" => run_faults(rest),
         "summary" => parse_opts(rest).and_then(|opts| {
             let w = workload(&opts)?;
             println!("Workload: {w}\n");

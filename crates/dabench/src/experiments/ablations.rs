@@ -8,9 +8,7 @@
 use super::workloads::{rdu_probe, wse_probe};
 use crate::render::Table;
 use dabench_model::{ModelConfig, Precision, TrainingWorkload};
-use dabench_rdu::{
-    execute_sections, partition, CompilationMode, RduCompilerParams, RduSpec,
-};
+use dabench_rdu::{execute_sections, partition, CompilationMode, RduCompilerParams, RduSpec};
 use dabench_wse::{compile, execute, WseCompilerParams, WseSpec};
 use serde::{Deserialize, Serialize};
 
@@ -27,7 +25,10 @@ impl AblationRow {
     /// Look up a metric by name.
     #[must_use]
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
     }
 }
 
@@ -41,18 +42,17 @@ pub fn wse_transmission_ratio() -> Vec<AblationRow> {
     [0.0f64, 0.25, 0.55, 0.85]
         .iter()
         .map(|&ratio| {
-            let mut params = WseCompilerParams::default();
-            params.transmission_ratio = ratio;
+            let params = WseCompilerParams {
+                transmission_ratio: ratio,
+                ..Default::default()
+            };
             let c = compile(&spec, &params, &w, None).expect("24 layers compile");
             let e = execute(&spec, &params, &c, &w);
             AblationRow {
                 value: ratio,
                 metrics: vec![
                     ("allocation".to_owned(), c.allocation_ratio()),
-                    (
-                        "computation_pes".to_owned(),
-                        c.computation_pes() as f64,
-                    ),
+                    ("computation_pes".to_owned(), c.computation_pes() as f64),
                     ("tflops".to_owned(), e.achieved_tflops),
                 ],
             }
@@ -68,8 +68,10 @@ pub fn wse_config_growth() -> Vec<AblationRow> {
     [0.0f64, 0.4, 0.85, 1.7]
         .iter()
         .map(|&coef| {
-            let mut params = WseCompilerParams::default();
-            params.config_quadratic_bytes = coef;
+            let params = WseCompilerParams {
+                config_quadratic_bytes: coef,
+                ..Default::default()
+            };
             let mut deepest = 0u64;
             let mut layers = 6u64;
             while layers <= 120 {
@@ -101,7 +103,11 @@ pub fn rdu_fusion() -> Vec<AblationRow> {
             let sections = partition(&w, &spec, &params, mode);
             let e = execute_sections(&sections, &w, &spec, &params);
             AblationRow {
-                value: if mode == CompilationMode::O0 { 0.0 } else { 1.0 },
+                value: if mode == CompilationMode::O0 {
+                    0.0
+                } else {
+                    1.0
+                },
                 metrics: vec![
                     ("sections".to_owned(), sections.len() as f64),
                     (
@@ -125,8 +131,10 @@ pub fn rdu_section_ceiling() -> Vec<AblationRow> {
     [260u64, 390, 520, 640]
         .iter()
         .map(|&ceiling| {
-            let mut params = RduCompilerParams::default();
-            params.max_pcus_per_section = ceiling;
+            let params = RduCompilerParams {
+                max_pcus_per_section: ceiling,
+                ..Default::default()
+            };
             let sections = partition(&w, &spec, &params, CompilationMode::O3);
             let e = execute_sections(&sections, &w, &spec, &params);
             AblationRow {
@@ -147,8 +155,10 @@ pub fn ipu_activation_residency() -> Vec<AblationRow> {
     [0.0f64, 0.2, 0.5, 1.0]
         .iter()
         .map(|&residency| {
-            let mut params = IpuCompilerParams::default();
-            params.activation_residency_factor = residency;
+            let params = IpuCompilerParams {
+                activation_residency_factor: residency,
+                ..Default::default()
+            };
             let mut max_layers = 0u64;
             for layers in 1..=24 {
                 let w = TrainingWorkload::new(
@@ -242,7 +252,10 @@ mod tests {
     #[test]
     fn recompute_extends_ipu_capacity() {
         let rows = ipu_activation_residency();
-        let m: Vec<f64> = rows.iter().map(|r| r.metric("max_layers").unwrap()).collect();
+        let m: Vec<f64> = rows
+            .iter()
+            .map(|r| r.metric("max_layers").unwrap())
+            .collect();
         assert!(m.windows(2).all(|w| w[1] <= w[0]), "{m:?}");
         // The shipped residency (0.2) reproduces the 9-layer limit.
         assert_eq!(m[1], 9.0);

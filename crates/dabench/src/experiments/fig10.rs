@@ -87,7 +87,13 @@ pub fn run() -> Vec<Fig10Row> {
 pub fn render(rows: &[Fig10Row]) -> Table {
     let mut t = Table::new("Fig. 10: roofline points (global-memory level)");
     t.set_headers([
-        "Platform", "Workload", "AI (F/B)", "Achieved TF", "Attainable TF", "Ridge", "Bound",
+        "Platform",
+        "Workload",
+        "AI (F/B)",
+        "Achieved TF",
+        "Attainable TF",
+        "Ridge",
+        "Bound",
     ]);
     for r in rows {
         t.add_row([
@@ -122,10 +128,7 @@ mod tests {
     #[test]
     fn achieved_below_attainable() {
         for r in run() {
-            assert!(
-                r.achieved_tflops <= r.attainable_tflops * 1.05,
-                "{r:?}"
-            );
+            assert!(r.achieved_tflops <= r.attainable_tflops * 1.05, "{r:?}");
         }
     }
 

@@ -109,18 +109,12 @@ pub const IPU_ALLOCATIONS: [[u64; 3]; 9] = [
 #[must_use]
 pub fn run_ipu() -> Vec<IpuAllocationRow> {
     let ipu = Ipu::default();
-    let w = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 12),
-        64,
-        1024,
-        Precision::Fp16,
-    );
+    let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 64, 1024, Precision::Fp16);
     IPU_ALLOCATIONS
         .iter()
         .map(|alloc| {
-            let plan =
-                pipeline_with_allocation(ipu.ipu_spec(), ipu.compiler_params(), &w, alloc)
-                    .expect("allocation fits");
+            let plan = pipeline_with_allocation(ipu.ipu_spec(), ipu.compiler_params(), &w, alloc)
+                .expect("allocation fits");
             IpuAllocationRow {
                 allocation: alloc.to_vec(),
                 max_layers: *alloc.iter().max().expect("non-empty"),
@@ -134,7 +128,12 @@ pub fn run_ipu() -> Vec<IpuAllocationRow> {
 #[must_use]
 pub fn render(wse: &[WseReplicaRow], rdu: &[RduTpRow], ipu: &[IpuAllocationRow]) -> Vec<Table> {
     let mut a = Table::new("Fig. 11(a): WSE throughput vs replicas (gpt2-mini)");
-    a.set_headers(["Replicas", "Computation tok/s", "Net tok/s", "Comm fraction"]);
+    a.set_headers([
+        "Replicas",
+        "Computation tok/s",
+        "Net tok/s",
+        "Comm fraction",
+    ]);
     for r in wse {
         a.add_row([
             r.replicas.to_string(),

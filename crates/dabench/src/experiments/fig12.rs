@@ -43,27 +43,18 @@ fn sweep(platform: &dyn Platform, base: &TrainingWorkload, batches: &[u64]) -> F
 /// Reproduce Fig. 12 on all three platforms.
 #[must_use]
 pub fn run() -> Vec<Fig12Series> {
-    let wse_base = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 12),
-        256,
-        1024,
-        Precision::Fp16,
-    );
-    let rdu_base = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 12),
-        8,
-        1024,
-        Precision::Fp16,
-    );
-    let ipu_base = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 6),
-        8,
-        1024,
-        Precision::Fp16,
-    );
+    let wse_base =
+        TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 256, 1024, Precision::Fp16);
+    let rdu_base =
+        TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 8, 1024, Precision::Fp16);
+    let ipu_base = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 8, 1024, Precision::Fp16);
     vec![
         sweep(&Wse::default(), &wse_base, &WSE_BATCHES),
-        sweep(&Rdu::with_mode(CompilationMode::O3), &rdu_base, &RDU_BATCHES),
+        sweep(
+            &Rdu::with_mode(CompilationMode::O3),
+            &rdu_base,
+            &RDU_BATCHES,
+        ),
         sweep(&Ipu::default(), &ipu_base, &IPU_BATCHES),
     ]
 }
@@ -90,7 +81,10 @@ mod tests {
     use super::*;
 
     fn series(name: &str) -> Fig12Series {
-        run().into_iter().find(|s| s.platform.contains(name)).unwrap()
+        run()
+            .into_iter()
+            .find(|s| s.platform.contains(name))
+            .unwrap()
     }
 
     #[test]

@@ -53,7 +53,12 @@ pub fn run() -> Vec<Fig6Row> {
 #[must_use]
 pub fn render(rows: &[Fig6Row]) -> Table {
     let mut t = Table::new("Fig. 6: computation vs transmission PEs (WSE-2)");
-    t.set_headers(["Layers", "Computation PEs", "Transmission PEs", "PEs / attention kernel"]);
+    t.set_headers([
+        "Layers",
+        "Computation PEs",
+        "Transmission PEs",
+        "PEs / attention kernel",
+    ]);
     for r in rows {
         t.add_row([
             r.layers.to_string(),

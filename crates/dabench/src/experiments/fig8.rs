@@ -97,8 +97,11 @@ pub fn render(rows: &[Fig8Row], panel: &str) -> Table {
 mod tests {
     use super::*;
 
-    fn series<'a>(rows: &'a [Fig8Row], s: &str) -> Vec<f64> {
-        rows.iter().filter(|r| r.series == s).map(|r| r.li).collect()
+    fn series(rows: &[Fig8Row], s: &str) -> Vec<f64> {
+        rows.iter()
+            .filter(|r| r.series == s)
+            .map(|r| r.li)
+            .collect()
     }
 
     #[test]
@@ -112,7 +115,9 @@ mod tests {
     #[test]
     fn o1_balances_better_than_o3() {
         let rows = run_layers();
-        let o1_min = series(&rows, "rdu-o1").into_iter().fold(f64::INFINITY, f64::min);
+        let o1_min = series(&rows, "rdu-o1")
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
         let o3_max = series(&rows, "rdu-o3").into_iter().fold(0.0f64, f64::max);
         assert!(o1_min > o3_max, "o1 min {o1_min} vs o3 max {o3_max}");
     }

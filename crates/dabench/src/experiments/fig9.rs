@@ -2,8 +2,8 @@
 //! three chips.
 
 use super::workloads::{
-    ipu_probe, rdu_o1_probe, rdu_probe, wse_probe, IPU_LAYER_SWEEP, RDU_HS_SWEEP,
-    RDU_LAYER_SWEEP, RDU_O1_HS_SWEEP,
+    ipu_probe, rdu_o1_probe, rdu_probe, wse_probe, IPU_LAYER_SWEEP, RDU_HS_SWEEP, RDU_LAYER_SWEEP,
+    RDU_O1_HS_SWEEP,
 };
 use crate::render::{num_or_fail, Table};
 use dabench_core::tier1;
@@ -59,8 +59,8 @@ pub fn run_wse() -> Vec<WseMemoryRow> {
         .iter()
         .map(|&layers| {
             let w = wse_probe(layers);
-            let c = compile(wse.wse_spec(), wse.compiler_params(), &w, None)
-                .expect("range compiles");
+            let c =
+                compile(wse.wse_spec(), wse.compiler_params(), &w, None).expect("range compiles");
             let e = execute(wse.wse_spec(), wse.compiler_params(), &c, &w);
             WseMemoryRow {
                 layers,
@@ -110,8 +110,8 @@ pub fn run_rdu_hidden() -> Vec<RduTflopsRow> {
         }
     }
     for &hs in &RDU_O1_HS_SWEEP {
-        let r = tier1::run(&Rdu::with_mode(CompilationMode::O1), &rdu_o1_probe(hs, 4))
-            .expect("probe");
+        let r =
+            tier1::run(&Rdu::with_mode(CompilationMode::O1), &rdu_o1_probe(hs, 4)).expect("probe");
         rows.push(RduTflopsRow {
             mode: "o1".to_owned(),
             x: hs,
@@ -151,7 +151,14 @@ pub fn render(
     ipu: &[IpuRow],
 ) -> Vec<Table> {
     let mut a = Table::new("Fig. 9(a): WSE memory breakdown and compute utilization");
-    a.set_headers(["Layers", "Config%", "Training%", "Total%", "Compute util", "TFLOPs"]);
+    a.set_headers([
+        "Layers",
+        "Config%",
+        "Training%",
+        "Total%",
+        "Compute util",
+        "TFLOPs",
+    ]);
     for r in wse {
         a.add_row([
             r.layers.to_string(),
@@ -204,7 +211,12 @@ mod tests {
     fn rdu_o0_severely_limited() {
         let rows = run_rdu_layers();
         for &l in &RDU_LAYER_SWEEP {
-            let get = |m: &str| rows.iter().find(|r| r.mode == m && r.x == l).unwrap().tflops;
+            let get = |m: &str| {
+                rows.iter()
+                    .find(|r| r.mode == m && r.x == l)
+                    .unwrap()
+                    .tflops
+            };
             assert!(get("o0") < 0.5 * get("o3"), "L={l}");
         }
     }
@@ -212,7 +224,11 @@ mod tests {
     #[test]
     fn rdu_tflops_rise_with_hidden_size() {
         let rows = run_rdu_hidden();
-        let o3: Vec<f64> = rows.iter().filter(|r| r.mode == "o3").map(|r| r.tflops).collect();
+        let o3: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.mode == "o3")
+            .map(|r| r.tflops)
+            .collect();
         assert!(o3.last().unwrap() > o3.first().unwrap());
         // Paper band: 35-50 TFLOPs at the top of the sweep.
         assert!((25.0..60.0).contains(o3.last().unwrap()), "{:?}", o3);

@@ -14,11 +14,11 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod sensitivity;
+pub mod summary;
 pub mod table1;
 pub mod table2;
 pub mod table3;
-pub mod sensitivity;
-pub mod summary;
 pub mod table4;
 pub mod validation;
 pub mod workloads;

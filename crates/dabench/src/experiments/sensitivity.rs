@@ -175,9 +175,8 @@ pub fn run() -> Vec<SensitivityRow> {
 /// Render the elasticity table.
 #[must_use]
 pub fn render(rows: &[SensitivityRow]) -> Table {
-    let mut t = Table::new(
-        "Hardware sensitivity: throughput elasticity per +25% parameter improvement",
-    );
+    let mut t =
+        Table::new("Hardware sensitivity: throughput elasticity per +25% parameter improvement");
     t.set_headers(["Platform", "Parameter", "Elasticity"]);
     for r in rows {
         t.add_row([

@@ -82,12 +82,7 @@ mod tests {
 
     #[test]
     fn all_platforms_handle_the_shared_probe() {
-        let w = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 6),
-            32,
-            1024,
-            Precision::Fp16,
-        );
+        let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 32, 1024, Precision::Fp16);
         let rows = run(&w);
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.report.is_some()));
@@ -97,12 +92,7 @@ mod tests {
     fn failures_render_as_fail() {
         // 78 layers: WSE fails (per-PE SRAM), RDU succeeds (DDR has room
         // at this batch), IPU fails (tile SRAM).
-        let w = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 78),
-            32,
-            1024,
-            Precision::Fp16,
-        );
+        let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 78), 32, 1024, Precision::Fp16);
         let rows = run(&w);
         let wse = rows.iter().find(|r| r.platform.contains("wse")).unwrap();
         let rdu = rows.iter().find(|r| r.platform.contains("sn30")).unwrap();

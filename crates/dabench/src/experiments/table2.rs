@@ -44,7 +44,12 @@ pub fn run_o3() -> Vec<O3PartitionRow> {
         .map(|&hs| {
             let w = rdu_probe(hs, 12);
             let (fwd_ratio, bwd_ratio) = o3_ratios(&w, rdu.compiler_params());
-            let sections = partition(&w, rdu.rdu_spec(), rdu.compiler_params(), CompilationMode::O3);
+            let sections = partition(
+                &w,
+                rdu.rdu_spec(),
+                rdu.compiler_params(),
+                CompilationMode::O3,
+            );
             let alloc = |prefix: &str| -> f64 {
                 let selected: Vec<&dabench_rdu::Section> = sections
                     .iter()
@@ -150,7 +155,7 @@ mod tests {
         assert_eq!(rows[0].shards, 9); // h=3072
         assert!(rows[2].shards > 2 * rows[1].shards); // 5120 ≫ 4096
         assert!(rows[4].sections >= 3); // h=8192
-        // PCU per section stays well below the 640 limit.
+                                        // PCU per section stays well below the 640 limit.
         for r in &rows {
             assert!(r.pcus < 640, "{r:?}");
         }

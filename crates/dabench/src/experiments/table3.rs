@@ -152,7 +152,8 @@ pub fn run() -> Vec<Table3Row> {
 /// Render the table.
 #[must_use]
 pub fn render(rows: &[Table3Row]) -> Table {
-    let mut t = Table::new("Table III: scalability performance (tokens/s; per GPU for reference rows)");
+    let mut t =
+        Table::new("Table III: scalability performance (tokens/s; per GPU for reference rows)");
     t.set_headers(["Device", "Configuration", "Model", "Throughput"]);
     for r in rows {
         t.add_row([
@@ -169,7 +170,7 @@ pub fn render(rows: &[Table3Row]) -> Table {
 mod tests {
     use super::*;
 
-    fn get<'a>(rows: &'a [Table3Row], cfg: &str, model: &str) -> f64 {
+    fn get(rows: &[Table3Row], cfg: &str, model: &str) -> f64 {
         rows.iter()
             .find(|r| r.configuration == cfg && r.model == model)
             .and_then(|r| r.throughput)
@@ -185,8 +186,8 @@ mod tests {
         assert!(get(&rows, "DP8", "gpt2-tiny") > get(&rows, "DP0", "gpt2-small"));
         assert!(get(&rows, "DP4", "gpt2-mini") > get(&rows, "DP0", "gpt2-small"));
         // Weight streaming costs ~20% against the pipelined run.
-        let drop =
-            1.0 - get(&rows, "PP (weight streaming)", "gpt2-small") / get(&rows, "DP0", "gpt2-small");
+        let drop = 1.0
+            - get(&rows, "PP (weight streaming)", "gpt2-small") / get(&rows, "DP0", "gpt2-small");
         assert!((0.05..0.35).contains(&drop), "{drop}");
     }
 

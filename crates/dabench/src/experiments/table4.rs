@@ -34,12 +34,8 @@ pub fn run() -> Vec<Table4Row> {
 
     let ipu = Ipu::default();
     // Six layers: the FP32 ("Full") configuration still fits in SRAM.
-    let ipu_base = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 6),
-        64,
-        1024,
-        Precision::Fp32,
-    );
+    let ipu_base =
+        TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 64, 1024, Precision::Fp32);
     rows.push(Table4Row {
         device: "IPU".to_owned(),
         configuration: "Full".to_owned(),
@@ -52,12 +48,8 @@ pub fn run() -> Vec<Table4Row> {
     });
 
     let wse = Wse::default();
-    let wse_base = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 12),
-        256,
-        1024,
-        Precision::Fp16,
-    );
+    let wse_base =
+        TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 256, 1024, Precision::Fp16);
     rows.push(Table4Row {
         device: "WSE".to_owned(),
         configuration: "FP16".to_owned(),

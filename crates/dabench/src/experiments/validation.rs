@@ -55,7 +55,9 @@ pub fn run() -> Vec<Check> {
             100.0 * plateau.iter().cloned().fold(0.0f64, f64::max)
         ),
     ));
-    let fail78 = t1.iter().any(|r| r.layers == 78 && r.allocation_pct.is_none());
+    let fail78 = t1
+        .iter()
+        .any(|r| r.layers == 78 && r.allocation_pct.is_none());
     checks.push(check(
         "Table I",
         "compilation fails at 78 layers (~500M params)",
@@ -87,21 +89,29 @@ pub fn run() -> Vec<Check> {
 
     // --- Table II ---
     let ratios = table2::run_o3();
-    let quantized = ratios
-        .iter()
-        .all(|r| [2.0 / 3.0, 0.75, 1.0, 2.0, 3.0].iter().any(|q| (r.forward_ratio - q).abs() < 1e-9));
+    let quantized = ratios.iter().all(|r| {
+        [2.0 / 3.0, 0.75, 1.0, 2.0, 3.0]
+            .iter()
+            .any(|q| (r.forward_ratio - q).abs() < 1e-9)
+    });
     checks.push(check(
         "Table II(a)",
         "O3 forward ratios land on the 2/3 - 3/4 - 1 quantization ladder",
         quantized,
-        format!("{:?}", ratios.iter().map(|r| r.forward_ratio).collect::<Vec<_>>()),
+        format!(
+            "{:?}",
+            ratios.iter().map(|r| r.forward_ratio).collect::<Vec<_>>()
+        ),
     ));
     let shards = table2::run_shards();
     checks.push(check(
         "Table II(b)",
         "LM-head shard count jumps at the fine-shard threshold",
         shards[2].shards > 2 * shards[1].shards,
-        format!("{} shards at HS 4096 vs {} at 5120", shards[1].shards, shards[2].shards),
+        format!(
+            "{} shards at HS 4096 vs {} at 5120",
+            shards[1].shards, shards[2].shards
+        ),
     ));
 
     // --- Fig 7 ---
@@ -158,7 +168,12 @@ pub fn run() -> Vec<Check> {
         "Fig 9(a)",
         "WSE config memory grows super-linearly past 36 layers",
         cfg(72) - cfg(36) > cfg(36) - cfg(12),
-        format!("{:.1}% → {:.1}% → {:.1}%", 100.0 * cfg(12), 100.0 * cfg(36), 100.0 * cfg(72)),
+        format!(
+            "{:.1}% → {:.1}% → {:.1}%",
+            100.0 * cfg(12),
+            100.0 * cfg(36),
+            100.0 * cfg(72)
+        ),
     ));
     let ipu = fig9::run_ipu();
     checks.push(check(

@@ -63,3 +63,9 @@ pub mod ipu {
 pub mod gpu {
     pub use dabench_gpu::*;
 }
+
+/// Re-export of fault-injection planning and resilience sweeps
+/// (`dabench-faults`).
+pub mod faults {
+    pub use dabench_faults::*;
+}

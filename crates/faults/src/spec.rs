@@ -1,0 +1,137 @@
+//! The `--plan` specification: how much of each fault class to inject.
+//!
+//! A [`PlanSpec`] is the *intensity* of an experiment (fractions and
+//! counts); the seeded generator in [`crate::plan`] turns it into concrete
+//! fault coordinates. The textual form is a comma-separated key=value
+//! list, e.g. `dead=0.05,link=0.9,stalls=2,drop=1`.
+
+use std::str::FromStr;
+
+/// Fault intensities for one experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanSpec {
+    /// Fraction of the compute fabric permanently dead (`0..=1`): WSE PE
+    /// area, RDU PCUs/PMUs, IPU tiles.
+    pub dead_fraction: f64,
+    /// Surviving fraction of interconnect/DDR bandwidth (`0..=1`, `1.0`
+    /// means healthy links).
+    pub link_retained: f64,
+    /// Number of transient task stalls to inject.
+    pub transient_stalls: u32,
+    /// Whole devices dropped (IPUs from the BSP pipeline; RDU tiles).
+    pub dropped_devices: u32,
+}
+
+impl PlanSpec {
+    /// Copy of the spec with a different dead-fabric fraction (used by
+    /// sweeps).
+    #[must_use]
+    pub fn with_dead_fraction(mut self, fraction: f64) -> Self {
+        self.dead_fraction = fraction;
+        self
+    }
+
+    /// Whether the spec injects no faults at all.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.dead_fraction == 0.0
+            && self.link_retained == 1.0
+            && self.transient_stalls == 0
+            && self.dropped_devices == 0
+    }
+}
+
+impl Default for PlanSpec {
+    /// The acceptance-test default: 5% dead fabric, everything else
+    /// healthy.
+    fn default() -> Self {
+        Self {
+            dead_fraction: 0.05,
+            link_retained: 1.0,
+            transient_stalls: 0,
+            dropped_devices: 0,
+        }
+    }
+}
+
+fn parse_fraction(key: &str, value: &str) -> Result<f64, String> {
+    let x: f64 = value
+        .parse()
+        .map_err(|e| format!("{key}: not a number ({e})"))?;
+    if !(0.0..=1.0).contains(&x) {
+        return Err(format!("{key}: {x} outside 0..=1"));
+    }
+    Ok(x)
+}
+
+impl FromStr for PlanSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = Self::default();
+        for clause in s.split(',').filter(|c| !c.trim().is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("`{clause}`: expected key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "dead" => spec.dead_fraction = parse_fraction(key, value)?,
+                "link" => spec.link_retained = parse_fraction(key, value)?,
+                "stalls" => {
+                    spec.transient_stalls = value.parse().map_err(|e| format!("stalls: {e}"))?;
+                }
+                "drop" => {
+                    spec.dropped_devices = value.parse().map_err(|e| format!("drop: {e}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "unknown plan key `{other}` (expected dead, link, stalls or drop)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_five_percent_dead() {
+        let s = PlanSpec::default();
+        assert!((s.dead_fraction - 0.05).abs() < 1e-12);
+        assert_eq!(s.link_retained, 1.0);
+        assert!(!s.is_healthy());
+    }
+
+    #[test]
+    fn parses_full_clause_list() {
+        let s: PlanSpec = "dead=0.1, link=0.8, stalls=3, drop=2".parse().unwrap();
+        assert!((s.dead_fraction - 0.1).abs() < 1e-12);
+        assert!((s.link_retained - 0.8).abs() < 1e-12);
+        assert_eq!(s.transient_stalls, 3);
+        assert_eq!(s.dropped_devices, 2);
+    }
+
+    #[test]
+    fn empty_string_is_default() {
+        assert_eq!("".parse::<PlanSpec>().unwrap(), PlanSpec::default());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!("dead=1.5".parse::<PlanSpec>().is_err());
+        assert!("dead".parse::<PlanSpec>().is_err());
+        assert!("banana=1".parse::<PlanSpec>().is_err());
+        assert!("stalls=-1".parse::<PlanSpec>().is_err());
+    }
+
+    #[test]
+    fn healthy_detection() {
+        let s: PlanSpec = "dead=0".parse().unwrap();
+        assert!(s.is_healthy());
+        assert!(!"dead=0,stalls=1".parse::<PlanSpec>().unwrap().is_healthy());
+    }
+}

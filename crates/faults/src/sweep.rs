@@ -1,0 +1,60 @@
+//! Resilience sweeps: degrade a platform across growing fault fractions.
+
+use crate::plan::{FaultPlan, PlatformKind};
+use crate::report::{ResilienceReport, SweepPoint};
+use crate::rng::SplitMix64;
+use crate::spec::PlanSpec;
+use dabench_core::Degradable;
+use dabench_model::TrainingWorkload;
+
+/// Dead-fabric fractions every sweep visits, in order.
+pub const FAULT_FRACTIONS: [f64; 6] = [0.0, 0.01, 0.02, 0.05, 0.10, 0.20];
+
+/// Sweep `platform` over [`FAULT_FRACTIONS`], drawing each point's plan
+/// from a seed forked off `seed` (same seed ⇒ byte-identical report).
+///
+/// The `base` spec's link/stall/drop intensities apply at every point;
+/// only the dead-fabric fraction varies. A point whose remap fails is
+/// recorded with its error rather than aborting the sweep — a platform
+/// that cannot survive 20% dead fabric is a finding, not a crash.
+#[must_use]
+pub fn resilience_sweep(
+    platform: &dyn Degradable,
+    workload: &TrainingWorkload,
+    base: &PlanSpec,
+    seed: u64,
+) -> ResilienceReport {
+    let kind = PlatformKind::infer(platform.name()).unwrap_or(PlatformKind::Rdu);
+    let points = FAULT_FRACTIONS
+        .iter()
+        .enumerate()
+        .map(|(i, &fraction)| {
+            let spec = base.with_dead_fraction(fraction);
+            let mut fork = SplitMix64::fork(seed, i as u64);
+            let plan = FaultPlan::generate(kind, &spec, fork.next_u64());
+            match platform.degrade(workload, &plan.fault_set()) {
+                Ok(d) => SweepPoint {
+                    fraction,
+                    retention: Some(d.throughput_retention()),
+                    tokens_per_s: Some(d.degraded.throughput_tokens_per_s),
+                    recover_s: d.recovery_cost.total_s(),
+                    error: None,
+                    plan,
+                },
+                Err(e) => SweepPoint {
+                    fraction,
+                    retention: None,
+                    tokens_per_s: None,
+                    recover_s: 0.0,
+                    error: Some(e.to_string()),
+                    plan,
+                },
+            }
+        })
+        .collect();
+    ResilienceReport {
+        platform: platform.name().to_owned(),
+        seed,
+        points,
+    }
+}

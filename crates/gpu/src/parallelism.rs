@@ -89,7 +89,7 @@ pub fn megatron_throughput(
             config.tp, spec.gpus_per_node
         )));
     }
-    if workload.batch_size() % u64::from(config.dp) != 0 {
+    if !workload.batch_size().is_multiple_of(u64::from(config.dp)) {
         return Err(PlatformError::Unsupported(format!(
             "global batch {} not divisible by dp={}",
             workload.batch_size(),
@@ -104,8 +104,7 @@ pub fn megatron_throughput(
     let num_micro = local_batch.div_ceil(micro).max(1);
 
     // Compute: the replica's share of the step FLOPs, spread over tp×pp.
-    let replica_flops =
-        workload.training_flops_per_step() / f64::from(config.dp);
+    let replica_flops = workload.training_flops_per_step() / f64::from(config.dp);
     let per_gpu_rate = spec.peak_tflops * 1e12 * spec.mfu;
     let compute_time = replica_flops / (f64::from(config.tp * config.pp) * per_gpu_rate);
 
@@ -129,14 +128,12 @@ pub fn megatron_throughput(
     // activation transfers.
     let p = f64::from(config.pp);
     let m = num_micro as f64;
-    let bubble_inflation =
-        (m + p - 1.0) / m * (1.0 + spec.pp_stage_inefficiency * (p - 1.0));
+    let bubble_inflation = (m + p - 1.0) / m * (1.0 + spec.pp_stage_inefficiency * (p - 1.0));
 
     // Data parallelism: gradient allreduce on the replica's parameter
     // shard, half-overlapped with backward.
     let dp_time = if config.dp > 1 {
-        let shard = model.parameter_count() as f64 * eb
-            / f64::from(config.tp * config.pp);
+        let shard = model.parameter_count() as f64 * eb / f64::from(config.tp * config.pp);
         let d = f64::from(config.dp);
         let cross_node = config.gpus() > spec.gpus_per_node;
         let bw = if cross_node {
@@ -173,7 +170,12 @@ mod tests {
     }
 
     fn run(tp: u32, pp: u32, dp: u32, batch: u64) -> GpuRun {
-        megatron_throughput(&GpuSpec::a100(), &xl(batch), MegatronConfig::new(tp, pp, dp)).unwrap()
+        megatron_throughput(
+            &GpuSpec::a100(),
+            &xl(batch),
+            MegatronConfig::new(tp, pp, dp),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -211,9 +213,8 @@ mod tests {
 
     #[test]
     fn invalid_layouts_rejected() {
-        let err =
-            megatron_throughput(&GpuSpec::a100(), &xl(64), MegatronConfig::new(16, 1, 1))
-                .unwrap_err();
+        let err = megatron_throughput(&GpuSpec::a100(), &xl(64), MegatronConfig::new(16, 1, 1))
+            .unwrap_err();
         assert!(matches!(err, PlatformError::Unsupported(_)));
         let err = megatron_throughput(&GpuSpec::a100(), &xl(3), MegatronConfig::new(1, 1, 2))
             .unwrap_err();

@@ -33,8 +33,7 @@ impl Platform for GpuCluster {
 
     fn profile(&self, workload: &TrainingWorkload) -> Result<ChipProfile, PlatformError> {
         let g = self.gpu_spec();
-        let state =
-            workload.training_state_bytes() + workload.activation_memory().stored_bytes();
+        let state = workload.training_state_bytes() + workload.activation_memory().stored_bytes();
         if state > g.hbm_bytes {
             return Err(PlatformError::OutOfMemory {
                 level: "hbm".to_owned(),
@@ -81,10 +80,7 @@ impl Scalable for GpuCluster {
             throughput_tokens_per_s: run.tokens_per_s,
             communication_fraction: run.comm_fraction,
             per_unit_allocation: vec![("sm".to_owned(), 1.0)],
-            detail: vec![(
-                "tokens_per_s_per_gpu".to_owned(),
-                run.tokens_per_s_per_gpu,
-            )],
+            detail: vec![("tokens_per_s_per_gpu".to_owned(), run.tokens_per_s_per_gpu)],
         })
     }
 }

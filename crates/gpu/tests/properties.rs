@@ -9,8 +9,7 @@ fn workload(batch: u64) -> TrainingWorkload {
 }
 
 fn arb_layout() -> impl Strategy<Value = MegatronConfig> {
-    (0u32..4, 0u32..4, 0u32..6)
-        .prop_map(|(t, p, d)| MegatronConfig::new(1 << t, 1 << p, 1 << d))
+    (0u32..4, 0u32..4, 0u32..6).prop_map(|(t, p, d)| MegatronConfig::new(1 << t, 1 << p, 1 << d))
 }
 
 proptest! {

@@ -173,7 +173,7 @@ mod tests {
         // residual branches and weight-gradient ops.
         let s = GraphStats::of(&g());
         let p = s.parallelism();
-        assert!(p >= 1.0 && p < 4.0, "{p}");
+        assert!((1.0..4.0).contains(&p), "{p}");
     }
 
     #[test]

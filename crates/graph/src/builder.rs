@@ -65,7 +65,14 @@ impl GraphBuilder {
             let block_in = prev_out;
             edges.push((block_in, n("norm1")));
             let mut cur = n("norm1");
-            for label in ["qkv_proj", "rope", "attn_scores", "softmax", "attn_context", "out_proj"] {
+            for label in [
+                "qkv_proj",
+                "rope",
+                "attn_scores",
+                "softmax",
+                "attn_context",
+                "out_proj",
+            ] {
                 let full = format!("l{l}.{label}.fwd");
                 if let Some(&next) = index.get(&full) {
                     edges.push((cur, next));
@@ -241,8 +248,14 @@ mod tests {
     fn layer_nodes_cover_both_phases() {
         let g = g();
         let nodes = layer_nodes(&g, 0);
-        let fwd = nodes.iter().filter(|&&id| g.op(id).phase == Phase::Forward).count();
-        let bwd = nodes.iter().filter(|&&id| g.op(id).phase == Phase::Backward).count();
+        let fwd = nodes
+            .iter()
+            .filter(|&&id| g.op(id).phase == Phase::Forward)
+            .count();
+        let bwd = nodes
+            .iter()
+            .filter(|&&id| g.op(id).phase == Phase::Backward)
+            .count();
         assert_eq!(fwd, bwd);
         assert!(fwd >= 12);
     }
@@ -257,10 +270,7 @@ mod tests {
     fn no_dangling_interior_nodes() {
         let g = g();
         // Exactly one forward source (embedding.fwd).
-        let sources: Vec<_> = g
-            .node_ids()
-            .filter(|&id| g.preds(id).is_empty())
-            .collect();
+        let sources: Vec<_> = g.node_ids().filter(|&id| g.preds(id).is_empty()).collect();
         assert_eq!(sources.len(), 1);
         assert_eq!(g.op(sources[0]).name, "embedding.fwd");
     }

@@ -83,9 +83,9 @@ pub fn fuse_into_matmuls(g: &DataflowGraph) -> Vec<FusionGroup> {
         }
     }
     // Pass 4: anything left anchors itself.
-    for i in 0..n {
-        if group_of[i] == usize::MAX {
-            group_of[i] = i;
+    for (i, g) in group_of.iter_mut().enumerate().take(n) {
+        if *g == usize::MAX {
+            *g = i;
         }
     }
 
@@ -164,7 +164,11 @@ mod tests {
             .iter()
             .filter(|gr| g.op(gr.anchor).class.is_matmul())
             .count();
-        assert!(matmul_anchored * 2 > groups.len(), "{matmul_anchored}/{}", groups.len());
+        assert!(
+            matmul_anchored * 2 > groups.len(),
+            "{matmul_anchored}/{}",
+            groups.len()
+        );
     }
 
     #[test]

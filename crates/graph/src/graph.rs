@@ -147,10 +147,7 @@ impl DataflowGraph {
     /// Find a node by exact operator name.
     #[must_use]
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|op| op.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|op| op.name == name).map(NodeId)
     }
 
     /// Total FLOPs over all nodes.
@@ -285,7 +282,12 @@ mod tests {
     fn diamond() -> DataflowGraph {
         // a -> b, a -> c, b -> d, c -> d
         DataflowGraph::from_parts(
-            vec![mk_op("a", 1.0), mk_op("b", 2.0), mk_op("c", 10.0), mk_op("d", 1.0)],
+            vec![
+                mk_op("a", 1.0),
+                mk_op("b", 2.0),
+                mk_op("c", 10.0),
+                mk_op("d", 1.0),
+            ],
             &[(0, 1), (0, 2), (1, 3), (2, 3)],
         )
         .unwrap()
@@ -310,11 +312,9 @@ mod tests {
 
     #[test]
     fn cycle_detected() {
-        let g = DataflowGraph::from_parts(
-            vec![mk_op("a", 1.0), mk_op("b", 1.0)],
-            &[(0, 1), (1, 0)],
-        )
-        .unwrap();
+        let g =
+            DataflowGraph::from_parts(vec![mk_op("a", 1.0), mk_op("b", 1.0)], &[(0, 1), (1, 0)])
+                .unwrap();
         assert!(matches!(g.validate(), Err(GraphError::Cycle(_))));
     }
 

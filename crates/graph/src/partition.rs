@@ -29,7 +29,7 @@ impl Partition {
     /// Returns `None` if any size is zero.
     #[must_use]
     pub fn from_sizes(sizes: &[usize]) -> Option<Self> {
-        if sizes.iter().any(|&s| s == 0) {
+        if sizes.contains(&0) {
             return None;
         }
         let mut ends = Vec::with_capacity(sizes.len());

@@ -34,7 +34,11 @@ pub(crate) fn precision_rate_factor(p: Precision, params: &IpuCompilerParams) ->
 /// is capped by communication, so small layer counts under-fill the chip —
 /// the rising edge of Fig. 9(d)).
 #[must_use]
-pub fn tiles_for_layer(workload: &TrainingWorkload, spec: &IpuSpec, params: &IpuCompilerParams) -> u64 {
+pub fn tiles_for_layer(
+    workload: &TrainingWorkload,
+    spec: &IpuSpec,
+    params: &IpuCompilerParams,
+) -> u64 {
     let model = workload.model();
     // Per-token training FLOPs of one layer (fwd + bwd ≈ 3 × fwd).
     let layer_flops_per_token = 3.0
@@ -107,7 +111,8 @@ pub fn nonlayer_stage_time(
     let rate = precision_rate_factor(workload.precision(), params);
     let nonlayer_flops = workload.training_flops_per_step() - layer_flops_per_step(workload);
     let per_item = nonlayer_flops / workload.batch_size() as f64;
-    per_item / (spec.tiles as f64 * spec.peak_flops_per_tile * params.sustained_tile_efficiency * rate)
+    per_item
+        / (spec.tiles as f64 * spec.peak_flops_per_tile * params.sustained_tile_efficiency * rate)
 }
 
 #[cfg(test)]
@@ -164,12 +169,7 @@ mod tests {
     fn fp32_is_slower() {
         let spec = IpuSpec::bow2000();
         let p = IpuCompilerParams::default();
-        let w32 = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 4),
-            16,
-            1024,
-            Precision::Fp32,
-        );
+        let w32 = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 4), 16, 1024, Precision::Fp32);
         let half = layer_compute_time(&w(4), 368, &spec, &p);
         let full = layer_compute_time(&w32, 368, &spec, &p);
         assert!(full.compute_s > half.compute_s);

@@ -38,12 +38,16 @@
 
 mod bsp;
 mod chip;
+mod degrade;
 mod memory;
 mod pipeline;
 mod platform_impl;
 
-pub use bsp::{layer_compute_time, layer_flops_per_step, nonlayer_stage_time, tiles_for_layer, BspCosts};
+pub use bsp::{
+    layer_compute_time, layer_flops_per_step, nonlayer_stage_time, tiles_for_layer, BspCosts,
+};
 pub use chip::{IpuCompilerParams, IpuSpec};
+pub use degrade::surviving_devices;
 pub use memory::{decoder_ipu_memory, embedding_ipu_memory, IpuMemoryUse};
 pub use pipeline::{pipeline_parallel, pipeline_with_allocation, PipelinePlan, StageLoad};
 

@@ -87,7 +87,7 @@ pub fn embedding_ipu_memory(
     let emb = workload.model().embedding_parameter_count();
     IpuMemoryUse {
         state_bytes: emb * (2 * eb + 8),
-        activation_bytes: (workload.seq_len() * workload.model().hidden_size * eb * 2) as u64,
+        activation_bytes: (workload.seq_len() * workload.model().hidden_size * eb * 2),
         code_bytes: params.code_reserve_bytes_per_ipu as u64,
         capacity_bytes: spec.sram_per_ipu_bytes(),
     }
@@ -133,12 +133,7 @@ mod tests {
 
     #[test]
     fn fp32_ooms_earlier() {
-        let w32 = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 6),
-            16,
-            1024,
-            Precision::Fp32,
-        );
+        let w32 = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 16, 1024, Precision::Fp32);
         let m = decoder_ipu_memory(&w32, 6, &IpuSpec::bow2000(), &IpuCompilerParams::default());
         assert!(m.total_bytes() > mem(6).total_bytes());
     }
@@ -153,8 +148,18 @@ mod tests {
     #[test]
     fn activations_are_batch_independent() {
         // Only the in-flight micro-batch is resident.
-        let a = decoder_ipu_memory(&w(4).with_batch_size(4), 4, &IpuSpec::bow2000(), &IpuCompilerParams::default());
-        let b = decoder_ipu_memory(&w(4).with_batch_size(64), 4, &IpuSpec::bow2000(), &IpuCompilerParams::default());
+        let a = decoder_ipu_memory(
+            &w(4).with_batch_size(4),
+            4,
+            &IpuSpec::bow2000(),
+            &IpuCompilerParams::default(),
+        );
+        let b = decoder_ipu_memory(
+            &w(4).with_batch_size(64),
+            4,
+            &IpuSpec::bow2000(),
+            &IpuCompilerParams::default(),
+        );
         assert_eq!(a.activation_bytes, b.activation_bytes);
     }
 }

@@ -166,8 +166,8 @@ pub fn pipeline_parallel(
         )));
     }
     let weights = vec![1.0; layers as usize];
-    let partition = balanced_contiguous(&weights, decoder_ipus as usize)
-        .expect("valid partition arguments");
+    let partition =
+        balanced_contiguous(&weights, decoder_ipus as usize).expect("valid partition arguments");
     let allocation: Vec<u64> = partition.sizes().iter().map(|&s| s as u64).collect();
     pipeline_with_allocation(spec, params, workload, &allocation)
 }
@@ -197,7 +197,8 @@ mod tests {
     #[test]
     fn throughput_inverse_in_max_layers() {
         // Paper Fig. 11(c): throughput is set by the most loaded IPU.
-        let balanced = pipeline_with_allocation(&spec(), &params(), &w(12, 64), &[4, 4, 4]).unwrap();
+        let balanced =
+            pipeline_with_allocation(&spec(), &params(), &w(12, 64), &[4, 4, 4]).unwrap();
         let skewed = pipeline_with_allocation(&spec(), &params(), &w(12, 64), &[6, 3, 3]).unwrap();
         assert!(balanced.throughput_tokens_per_s > skewed.throughput_tokens_per_s);
         let ratio = balanced.throughput_tokens_per_s / skewed.throughput_tokens_per_s;
@@ -255,12 +256,8 @@ mod tests {
     #[test]
     fn mixed_precision_gain_about_22_percent() {
         // Paper Table IV: Full 154k vs Mixed 188k (+22%).
-        let full = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 8),
-            64,
-            1024,
-            Precision::Fp32,
-        );
+        let full =
+            TrainingWorkload::new(ModelConfig::gpt2_probe(768, 8), 64, 1024, Precision::Fp32);
         let mixed = full.with_precision(Precision::Fp16);
         let t_full = pipeline_parallel(&spec(), &params(), &full, 4)
             .unwrap()

@@ -79,13 +79,7 @@ impl Platform for Ipu {
 
         let tiles_used = (per_layer_tiles * layers).min(spec.tiles);
         let tasks: Vec<TaskProfile> = (0..layers)
-            .map(|l| {
-                TaskProfile::new(
-                    format!("l{l}"),
-                    1.0 / costs.total(),
-                    per_layer_tiles as f64,
-                )
-            })
+            .map(|l| TaskProfile::new(format!("l{l}"), 1.0 / costs.total(), per_layer_tiles as f64))
             .collect();
 
         Ok(ChipProfile {
@@ -177,14 +171,24 @@ mod tests {
             "{}",
             r.achieved_tflops
         );
-        assert!((0.2..0.48).contains(&r.compute_efficiency), "{}", r.compute_efficiency);
+        assert!(
+            (0.2..0.48).contains(&r.compute_efficiency),
+            "{}",
+            r.compute_efficiency
+        );
     }
 
     #[test]
     fn memory_grows_linearly_and_fails_at_ten() {
         let ipu = Ipu::default();
-        let m4 = tier1::run(&ipu, &w(4)).unwrap().memory_utilization_of("tile-sram").unwrap();
-        let m8 = tier1::run(&ipu, &w(8)).unwrap().memory_utilization_of("tile-sram").unwrap();
+        let m4 = tier1::run(&ipu, &w(4))
+            .unwrap()
+            .memory_utilization_of("tile-sram")
+            .unwrap();
+        let m8 = tier1::run(&ipu, &w(8))
+            .unwrap()
+            .memory_utilization_of("tile-sram")
+            .unwrap();
         assert!(m8 > 1.8 * m4 * 0.8, "{m4} {m8}");
         let err = ipu.profile(&w(10)).unwrap_err();
         assert!(matches!(err, PlatformError::OutOfMemory { .. }));
@@ -211,8 +215,14 @@ mod tests {
     #[test]
     fn tile_allocation_saturates() {
         let ipu = Ipu::default();
-        let a2 = tier1::run(&ipu, &w(2)).unwrap().allocation_of("tile").unwrap();
-        let a6 = tier1::run(&ipu, &w(6)).unwrap().allocation_of("tile").unwrap();
+        let a2 = tier1::run(&ipu, &w(2))
+            .unwrap()
+            .allocation_of("tile")
+            .unwrap();
+        let a6 = tier1::run(&ipu, &w(6))
+            .unwrap()
+            .allocation_of("tile")
+            .unwrap();
         assert!(a6 > a2);
         assert!(a6 > 0.9, "{a6}");
     }

@@ -1,8 +1,6 @@
 //! Property-based tests of the IPU pipeline model.
 
-use dabench_ipu::{
-    decoder_ipu_memory, pipeline_with_allocation, IpuCompilerParams, IpuSpec,
-};
+use dabench_ipu::{decoder_ipu_memory, pipeline_with_allocation, IpuCompilerParams, IpuSpec};
 use dabench_model::{ModelConfig, Precision, TrainingWorkload};
 use proptest::prelude::*;
 

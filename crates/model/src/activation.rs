@@ -43,7 +43,11 @@ impl ActivationMemory {
             .filter(|o| o.phase == Phase::Forward)
             .map(|o| o.out_elems)
             .sum();
-        let peak: u64 = step.iter().map(|o| o.out_elems.max(o.in_elems)).max().unwrap_or(0);
+        let peak: u64 = step
+            .iter()
+            .map(|o| o.out_elems.max(o.in_elems))
+            .max()
+            .unwrap_or(0);
         let layer0: u64 = step
             .iter()
             .filter(|o| o.phase == Phase::Forward && o.layer == Some(0))
@@ -98,8 +102,10 @@ mod tests {
 
     #[test]
     fn per_layer_is_layer_marginal_cost() {
-        let a = ActivationMemory::for_step(&ModelConfig::gpt2_probe(768, 2), 2, 256, Precision::Fp16);
-        let b = ActivationMemory::for_step(&ModelConfig::gpt2_probe(768, 3), 2, 256, Precision::Fp16);
+        let a =
+            ActivationMemory::for_step(&ModelConfig::gpt2_probe(768, 2), 2, 256, Precision::Fp16);
+        let b =
+            ActivationMemory::for_step(&ModelConfig::gpt2_probe(768, 3), 2, 256, Precision::Fp16);
         assert_eq!(b.stored_bytes() - a.stored_bytes(), a.per_layer_bytes());
     }
 

@@ -145,7 +145,7 @@ impl ModelConfig {
     #[must_use]
     pub fn gpt2_probe(hidden_size: u64, num_layers: u64) -> Self {
         // Head dim 64 where divisible, else a single head.
-        let heads = if hidden_size % 64 == 0 {
+        let heads = if hidden_size.is_multiple_of(64) {
             hidden_size / 64
         } else {
             1
@@ -209,7 +209,7 @@ impl ModelConfig {
     /// rounded to a multiple of 256.
     #[must_use]
     pub fn llama2_probe(hidden_size: u64, num_layers: u64) -> Self {
-        let heads = if hidden_size % 128 == 0 {
+        let heads = if hidden_size.is_multiple_of(128) {
             hidden_size / 128
         } else {
             1
@@ -462,13 +462,13 @@ impl ModelConfigBuilder {
         assert!(self.cfg.num_layers > 0, "num_layers must be positive");
         assert!(self.cfg.num_heads > 0, "num_heads must be positive");
         assert!(
-            self.cfg.hidden_size % self.cfg.num_heads == 0,
+            self.cfg.hidden_size.is_multiple_of(self.cfg.num_heads),
             "hidden_size {} not divisible by num_heads {}",
             self.cfg.hidden_size,
             self.cfg.num_heads
         );
         assert!(
-            self.cfg.num_heads % self.cfg.num_kv_heads == 0,
+            self.cfg.num_heads.is_multiple_of(self.cfg.num_kv_heads),
             "num_heads {} not divisible by num_kv_heads {}",
             self.cfg.num_heads,
             self.cfg.num_kv_heads

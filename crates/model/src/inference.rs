@@ -72,10 +72,7 @@ impl InferenceWorkload {
     #[must_use]
     pub fn kv_cache_bytes_per_seq(&self, ctx: u64) -> u64 {
         // K and V, one vector of kv_dim per layer per position.
-        2 * self.model.num_layers
-            * ctx
-            * self.model.kv_dim()
-            * self.precision.bytes_per_element()
+        2 * self.model.num_layers * ctx * self.model.kv_dim() * self.precision.bytes_per_element()
     }
 
     /// Cost of the prefill phase (the whole prompt in one pass).
@@ -155,13 +152,7 @@ mod tests {
     use super::*;
 
     fn w() -> InferenceWorkload {
-        InferenceWorkload::new(
-            ModelConfig::gpt2_small(),
-            8,
-            512,
-            128,
-            Precision::Fp16,
-        )
+        InferenceWorkload::new(ModelConfig::gpt2_small(), 8, 512, 128, Precision::Fp16)
     }
 
     #[test]

@@ -45,8 +45,8 @@ mod precision;
 mod workload;
 
 pub use activation::ActivationMemory;
-pub use inference::{InferenceWorkload, PhaseCost};
 pub use config::{Activation, ModelConfig, ModelConfigBuilder, Normalization, PositionalEncoding};
+pub use inference::{InferenceWorkload, PhaseCost};
 pub use intensity::arithmetic_intensity;
 pub use precision::{Precision, PrecisionPolicy};
 pub use workload::TrainingWorkload;

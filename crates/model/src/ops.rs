@@ -178,22 +178,35 @@ fn layer_forward_ops(cfg: &ModelConfig, d: Dims, layer: u64) -> Vec<Op> {
     let mut ops = Vec::new();
     let bs = d.b * d.s;
     let bsh = bs * d.h;
-    let push_named =
-        |ops: &mut Vec<Op>, label: &str, class: OpClass, flops: f64, params: u64, in_e: f64, out_e: f64| {
-            ops.push(Op {
-                name: format!("l{layer}.{label}.fwd"),
-                class,
-                phase: Phase::Forward,
-                layer: Some(layer),
-                flops,
-                params,
-                in_elems: in_e as u64,
-                out_elems: out_e as u64,
-            });
-        };
+    let push_named = |ops: &mut Vec<Op>,
+                      label: &str,
+                      class: OpClass,
+                      flops: f64,
+                      params: u64,
+                      in_e: f64,
+                      out_e: f64| {
+        ops.push(Op {
+            name: format!("l{layer}.{label}.fwd"),
+            class,
+            phase: Phase::Forward,
+            layer: Some(layer),
+            flops,
+            params,
+            in_elems: in_e as u64,
+            out_elems: out_e as u64,
+        });
+    };
     macro_rules! push {
         ($class:expr, $flops:expr, $params:expr, $in:expr, $out:expr $(,)?) => {
-            push_named(&mut ops, $class.as_str(), $class, $flops, $params, $in, $out)
+            push_named(
+                &mut ops,
+                $class.as_str(),
+                $class,
+                $flops,
+                $params,
+                $in,
+                $out,
+            )
         };
         ($label:literal, $class:expr, $flops:expr, $params:expr, $in:expr, $out:expr $(,)?) => {
             push_named(&mut ops, $label, $class, $flops, $params, $in, $out)
@@ -210,7 +223,14 @@ fn layer_forward_ops(cfg: &ModelConfig, d: Dims, layer: u64) -> Vec<Op> {
     };
 
     // Pre-attention norm.
-    push!("norm1", OpClass::Norm, norm_flops_per_elem * bsh, norm_params, bsh, bsh);
+    push!(
+        "norm1",
+        OpClass::Norm,
+        norm_flops_per_elem * bsh,
+        norm_params,
+        bsh,
+        bsh
+    );
 
     // QKV projection: output width h + 2*kv.
     let qkv_out = d.h + 2.0 * d.kv;
@@ -257,17 +277,18 @@ fn layer_forward_ops(cfg: &ModelConfig, d: Dims, layer: u64) -> Vec<Op> {
         } else {
             0
         };
-    push!(
-        OpClass::OutProj,
-        2.0 * bs * d.h * d.h,
-        out_params,
-        bsh,
-        bsh,
-    );
+    push!(OpClass::OutProj, 2.0 * bs * d.h * d.h, out_params, bsh, bsh,);
     push!("residual1", OpClass::ResidualAdd, bsh, 0, 2.0 * bsh, bsh);
 
     // Pre-MLP norm.
-    push!("norm2", OpClass::Norm, norm_flops_per_elem * bsh, norm_params, bsh, bsh);
+    push!(
+        "norm2",
+        OpClass::Norm,
+        norm_flops_per_elem * bsh,
+        norm_params,
+        bsh,
+        bsh
+    );
 
     let bias = |w: f64| -> u64 {
         if cfg.normalization == Normalization::LayerNorm {
@@ -303,13 +324,7 @@ fn layer_forward_ops(cfg: &ModelConfig, d: Dims, layer: u64) -> Vec<Op> {
                 bs * d.f,
             );
             // SiLU on the gate plus the elementwise product.
-            push!(
-                OpClass::ActFn,
-                9.0 * bs * d.f,
-                0,
-                2.0 * bs * d.f,
-                bs * d.f,
-            );
+            push!(OpClass::ActFn, 9.0 * bs * d.f, 0, 2.0 * bs * d.f, bs * d.f,);
         }
     }
     push!(

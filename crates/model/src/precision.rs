@@ -18,11 +18,12 @@ use std::fmt;
 /// assert_eq!(Precision::Fp16.bytes_per_element(), 2);
 /// assert!(Precision::Fp32.bytes_per_element() > Precision::Bf16.bytes_per_element());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Precision {
     /// IEEE 754 single precision (32-bit).
     Fp32,
     /// IEEE 754 half precision (16-bit).
+    #[default]
     Fp16,
     /// bfloat16 (16-bit, FP32 exponent range).
     Bf16,
@@ -56,12 +57,6 @@ impl Precision {
             Precision::Bf16 => "bf16",
             Precision::Cb16 => "cb16",
         }
-    }
-}
-
-impl Default for Precision {
-    fn default() -> Self {
-        Precision::Fp16
     }
 }
 

@@ -196,10 +196,7 @@ mod tests {
     #[test]
     fn training_state_is_12_bytes_per_param_fp16() {
         let w = w();
-        assert_eq!(
-            w.training_state_bytes(),
-            12 * w.model().parameter_count()
-        );
+        assert_eq!(w.training_state_bytes(), 12 * w.model().parameter_count());
     }
 
     #[test]

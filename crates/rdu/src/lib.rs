@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod chip;
+mod degrade;
 mod modes;
 mod platform_impl;
 mod schedule;
@@ -47,6 +48,7 @@ mod tp;
 mod traffic;
 
 pub use chip::{RduCompilerParams, RduSpec};
+pub use degrade::degraded_spec;
 pub use modes::{o3_ratios, partition, CompilationMode};
 pub use schedule::{execute_sections, RduExecution, SectionTiming};
 pub use section::{OpAssignment, Section};

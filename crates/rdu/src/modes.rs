@@ -222,7 +222,16 @@ fn module_section(
     // section boundary; interior tensors stay in PMUs.
     let input = members.first().map_or(0, |o| o.in_elems * eb) + acts;
     let output = members.last().map_or(0, |o| o.out_elems * eb);
-    assign_units(label, members, invocations, weight, input, output, spec, params)
+    assign_units(
+        label,
+        members,
+        invocations,
+        weight,
+        input,
+        output,
+        spec,
+        params,
+    )
 }
 
 fn partition_o1(
@@ -237,7 +246,11 @@ fn partition_o1(
     let mut sections = Vec::new();
 
     for phase in [Phase::Forward, Phase::Backward] {
-        let suffix = if phase == Phase::Forward { "fwd" } else { "bwd" };
+        let suffix = if phase == Phase::Forward {
+            "fwd"
+        } else {
+            "bwd"
+        };
         for (label, op_labels) in O1_MODULES {
             let members: Vec<&Op> = op_labels
                 .iter()
@@ -277,7 +290,11 @@ fn partition_o1(
     let model = workload.model();
     let plan = shard_lm_head(model.hidden_size, model.vocab_size, eb, params);
     for phase in [Phase::Forward, Phase::Backward] {
-        let suffix = if phase == Phase::Forward { "fwd" } else { "bwd" };
+        let suffix = if phase == Phase::Forward {
+            "fwd"
+        } else {
+            "bwd"
+        };
         let head = all
             .iter()
             .find(|o| o.class == OpClass::LmHead && o.phase == phase)
@@ -296,13 +313,13 @@ fn partition_o1(
                 params,
             );
             // Shard sections use the correlated allocation of Table II(b),
-            // not the generic template.
-            sec.pcus = plan.pcus_per_section;
-            sec.pmus = plan.pmus_per_section;
+            // not the generic template; a degraded fabric still caps it.
+            sec.pcus = plan.pcus_per_section.min(spec.pcu_count());
+            sec.pmus = plan.pmus_per_section.min(spec.pmu_count());
             sec.flops_per_invocation = per_section_flops;
             for op_assign in &mut sec.ops {
                 op_assign.flops = per_section_flops;
-                op_assign.pcus = plan.pcus_per_section;
+                op_assign.pcus = sec.pcus;
             }
             sections.push(sec);
         }
@@ -377,7 +394,11 @@ fn o3_decoder_sections(
     let boundary = template.first().map_or(0, |o| o.in_elems * eb);
     let decoders_per_section = layers as f64 / count as f64;
 
-    let suffix = if phase == Phase::Forward { "fwd" } else { "bwd" };
+    let suffix = if phase == Phase::Forward {
+        "fwd"
+    } else {
+        "bwd"
+    };
     // Unit sizing uses the one-decoder template even when a section holds a
     // fractional number of decoders (ratio ≠ 1): SambaFlow sizes sections
     // from the repeated decoder program, and the sqrt template's
@@ -484,10 +505,7 @@ mod tests {
     #[test]
     fn o1_module_sections_carry_module_weights() {
         let sections = parts(&w(768, 12), CompilationMode::O1);
-        let mlp_in = sections
-            .iter()
-            .find(|s| s.name == "o1.mlp_in.fwd")
-            .unwrap();
+        let mlp_in = sections.iter().find(|s| s.name == "o1.mlp_in.fwd").unwrap();
         // norm2 + mlp_up weights ≈ (2h + h·4h + 4h) × 2 B.
         let h = 768u64;
         let expect = (2 * h + h * 4 * h + 4 * h) * 2;
@@ -533,12 +551,8 @@ mod tests {
 
     #[test]
     fn o1_shards_llama_head() {
-        let llama = TrainingWorkload::new(
-            ModelConfig::llama2_probe(4096, 4),
-            4,
-            4096,
-            Precision::Bf16,
-        );
+        let llama =
+            TrainingWorkload::new(ModelConfig::llama2_probe(4096, 4), 4, 4096, Precision::Bf16);
         let sections = parts(&llama, CompilationMode::O1);
         let shards = sections
             .iter()
@@ -551,7 +565,11 @@ mod tests {
     fn all_modes_conserve_flops() {
         let work = w(768, 6);
         let expect = work.training_flops_per_step();
-        for mode in [CompilationMode::O0, CompilationMode::O1, CompilationMode::O3] {
+        for mode in [
+            CompilationMode::O0,
+            CompilationMode::O1,
+            CompilationMode::O3,
+        ] {
             let total: f64 = parts(&work, mode).iter().map(Section::flops_per_step).sum();
             let err = (total - expect).abs() / expect;
             assert!(err < 0.05, "{mode}: {total} vs {expect}");
@@ -574,7 +592,11 @@ mod tests {
 
     #[test]
     fn sections_respect_hardware_limits() {
-        for mode in [CompilationMode::O0, CompilationMode::O1, CompilationMode::O3] {
+        for mode in [
+            CompilationMode::O0,
+            CompilationMode::O1,
+            CompilationMode::O3,
+        ] {
             for s in parts(&w(1600, 24), mode) {
                 assert!(s.pcus <= 640, "{}", s.name);
                 assert!(s.pmus <= 640, "{}", s.name);

@@ -224,12 +224,7 @@ mod tests {
     #[test]
     fn huge_models_fail_on_ddr() {
         let rdu = Rdu::default();
-        let huge = TrainingWorkload::new(
-            ModelConfig::llama2_70b(),
-            64,
-            4096,
-            Precision::Bf16,
-        );
+        let huge = TrainingWorkload::new(ModelConfig::llama2_70b(), 64, 4096, Precision::Bf16);
         let err = rdu.profile(&huge).unwrap_err();
         assert!(matches!(err, PlatformError::OutOfMemory { .. }));
     }
@@ -237,7 +232,10 @@ mod tests {
     #[test]
     fn scale_rejects_pipeline_parallel() {
         let err = Rdu::default()
-            .scale(&w(768, 4), ParallelStrategy::PipelineParallel { devices: 4 })
+            .scale(
+                &w(768, 4),
+                ParallelStrategy::PipelineParallel { devices: 4 },
+            )
             .unwrap_err();
         assert!(matches!(err, PlatformError::Unsupported(_)));
     }

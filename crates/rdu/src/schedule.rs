@@ -149,7 +149,11 @@ mod tests {
     fn o3_tflops_in_paper_band() {
         // Paper Fig. 9: O1/O3 around 35-50 TFLOPs at scale.
         let e = run(CompilationMode::O3, 1600, 24, 8);
-        assert!((25.0..60.0).contains(&e.achieved_tflops), "{}", e.achieved_tflops);
+        assert!(
+            (25.0..60.0).contains(&e.achieved_tflops),
+            "{}",
+            e.achieved_tflops
+        );
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl Section {
 /// (a real compiler schedules tiles over time rather than space), which is
 /// exactly why measured RDU allocation stays below ~60% in the paper.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn assign_units(
     name: &str,
     ops: &[&Op],
@@ -207,7 +208,11 @@ mod tests {
         let tiny = op("tiny", 1.0);
         let s = assign(&[&tiny]);
         // The floor is min_pcus, possibly rounded up to one quantum.
-        assert!(s.ops[0].pcus >= 4 && s.ops[0].pcus <= 8, "{}", s.ops[0].pcus);
+        assert!(
+            s.ops[0].pcus >= 4 && s.ops[0].pcus <= 8,
+            "{}",
+            s.ops[0].pcus
+        );
     }
 
     #[test]

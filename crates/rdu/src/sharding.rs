@@ -80,9 +80,21 @@ mod tests {
         // (2/2/2/3/3 sections). Our rule reproduces the jump at the fine
         // threshold and the section growth.
         assert_eq!(plan(3072).shards, 9);
-        assert!((9..=12).contains(&plan(4096).shards), "{}", plan(4096).shards);
-        assert!((26..=29).contains(&plan(5120).shards), "{}", plan(5120).shards);
-        assert!((30..=38).contains(&plan(6686).shards), "{}", plan(6686).shards);
+        assert!(
+            (9..=12).contains(&plan(4096).shards),
+            "{}",
+            plan(4096).shards
+        );
+        assert!(
+            (26..=29).contains(&plan(5120).shards),
+            "{}",
+            plan(5120).shards
+        );
+        assert!(
+            (30..=38).contains(&plan(6686).shards),
+            "{}",
+            plan(6686).shards
+        );
         assert!(plan(8192).shards >= plan(6686).shards);
     }
 

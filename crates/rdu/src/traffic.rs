@@ -75,24 +75,14 @@ mod tests {
     use dabench_model::{ModelConfig, Precision, TrainingWorkload};
 
     fn report(mode: CompilationMode) -> TrafficReport {
-        let w = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 12),
-            8,
-            1024,
-            Precision::Fp16,
-        );
+        let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 8, 1024, Precision::Fp16);
         let sections = partition(&w, &RduSpec::sn30(), &RduCompilerParams::default(), mode);
         traffic_report(&sections)
     }
 
     #[test]
     fn categories_sum_to_schedule_total() {
-        let w = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 6),
-            8,
-            1024,
-            Precision::Fp16,
-        );
+        let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 8, 1024, Precision::Fp16);
         let sections = partition(
             &w,
             &RduSpec::sn30(),
@@ -100,7 +90,10 @@ mod tests {
             CompilationMode::O3,
         );
         let r = traffic_report(&sections);
-        let direct: u64 = sections.iter().map(crate::Section::ddr_bytes_per_step).sum();
+        let direct: u64 = sections
+            .iter()
+            .map(crate::Section::ddr_bytes_per_step)
+            .sum();
         assert_eq!(r.total_bytes(), direct);
     }
 
@@ -120,8 +113,8 @@ mod tests {
         let r = report(CompilationMode::O3);
         assert!(r.optimizer_bytes > 0);
         // Optimizer state round trip ≈ params × (tens of bytes).
-        let per_param = r.optimizer_bytes as f64
-            / ModelConfig::gpt2_probe(768, 12).parameter_count() as f64;
+        let per_param =
+            r.optimizer_bytes as f64 / ModelConfig::gpt2_probe(768, 12).parameter_count() as f64;
         assert!((10.0..60.0).contains(&per_param), "{per_param}");
     }
 }

@@ -23,14 +23,28 @@ impl Resource {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity` is zero.
+    /// Panics if `capacity` is zero; use [`Resource::try_new`] to handle
+    /// invalid capacities gracefully.
     #[must_use]
     pub fn new(name: impl Into<String>, capacity: u32) -> Self {
-        assert!(capacity > 0, "resource capacity must be positive");
-        Self {
-            name: name.into(),
-            capacity,
+        match Self::try_new(name, capacity) {
+            Ok(r) => r,
+            Err(e) => panic!("resource capacity must be positive: {e}"),
         }
+    }
+
+    /// Create a resource with `capacity` concurrent slots, rejecting
+    /// invalid capacities instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidCapacity`] if `capacity` is zero.
+    pub fn try_new(name: impl Into<String>, capacity: u32) -> Result<Self, SimError> {
+        let name = name.into();
+        if capacity == 0 {
+            return Err(SimError::InvalidCapacity { resource: name });
+        }
+        Ok(Self { name, capacity })
     }
 
     /// Resource name.
@@ -61,19 +75,41 @@ impl TaskSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `duration` is negative or non-finite.
+    /// Panics if `duration` is negative or non-finite; use
+    /// [`TaskSpec::try_new`] to handle invalid durations gracefully.
     #[must_use]
     pub fn new(name: impl Into<String>, resource: usize, duration: f64) -> Self {
-        assert!(
-            duration.is_finite() && duration >= 0.0,
-            "duration must be finite and non-negative"
-        );
-        Self {
-            name: name.into(),
+        match Self::try_new(name, resource, duration) {
+            Ok(t) => t,
+            Err(e) => panic!("duration must be finite and non-negative: {e}"),
+        }
+    }
+
+    /// Create a task bound to resource index `resource` lasting `duration`,
+    /// rejecting invalid durations instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidDuration`] if `duration` is negative or
+    /// non-finite.
+    pub fn try_new(
+        name: impl Into<String>,
+        resource: usize,
+        duration: f64,
+    ) -> Result<Self, SimError> {
+        let name = name.into();
+        if !(duration.is_finite() && duration >= 0.0) {
+            return Err(SimError::InvalidDuration {
+                task: name,
+                duration,
+            });
+        }
+        Ok(Self {
+            name,
             resource,
             duration,
             deps: Vec::new(),
-        }
+        })
     }
 
     /// Add a dependency on an earlier task.
@@ -115,9 +151,21 @@ impl TaskSpec {
     }
 }
 
-/// Errors reported by [`Simulation::run`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors reported by [`Simulation::run`] and the fallible constructors.
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimError {
+    /// A resource was declared with zero capacity.
+    InvalidCapacity {
+        /// Offending resource name.
+        resource: String,
+    },
+    /// A task was declared with a negative or non-finite duration.
+    InvalidDuration {
+        /// Offending task name.
+        task: String,
+        /// The rejected duration value.
+        duration: f64,
+    },
     /// A task references a resource index that was never registered.
     UnknownResource {
         /// Offending task name.
@@ -142,6 +190,12 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::InvalidCapacity { resource } => {
+                write!(f, "resource `{resource}` declared with zero capacity")
+            }
+            SimError::InvalidDuration { task, duration } => {
+                write!(f, "task `{task}` declared with invalid duration {duration}")
+            }
             SimError::UnknownResource { task, resource } => {
                 write!(f, "task `{task}` references unknown resource {resource}")
             }
@@ -228,6 +282,18 @@ impl Simulation {
     #[must_use]
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// The registered tasks, in id order.
+    #[must_use]
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// The registered resources, in index order.
+    #[must_use]
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
     }
 
     /// Execute the simulation to completion.
@@ -342,7 +408,9 @@ impl Simulation {
         }
 
         if completed != n {
-            return Err(SimError::Deadlock { stuck: n - completed });
+            return Err(SimError::Deadlock {
+                stuck: n - completed,
+            });
         }
 
         let timings = self
@@ -486,5 +554,33 @@ mod tests {
     #[should_panic(expected = "duration")]
     fn negative_duration_rejected() {
         let _ = TaskSpec::new("t", 0, -1.0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_capacity_without_panicking() {
+        assert!(matches!(
+            Resource::try_new("r", 0),
+            Err(SimError::InvalidCapacity { .. })
+        ));
+        assert!(Resource::try_new("r", 1).is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_bad_durations_without_panicking() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                TaskSpec::try_new("t", 0, bad),
+                Err(SimError::InvalidDuration { .. })
+            ));
+        }
+        assert!(TaskSpec::try_new("t", 0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn constructor_error_display_names_offender() {
+        let e = Resource::try_new("wafer", 0).unwrap_err();
+        assert!(e.to_string().contains("wafer"));
+        let e = TaskSpec::try_new("stream3", 0, f64::NAN).unwrap_err();
+        assert!(e.to_string().contains("stream3"));
     }
 }

@@ -31,10 +31,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod faulty;
 mod pipeline;
 mod stats;
 pub mod trace;
 
 pub use engine::{Resource, SimError, Simulation, TaskId, TaskSpec};
+pub use faulty::{
+    run_with_faults, CheckpointModel, FaultyRun, RetryPolicy, RetryRecord, TaskFault,
+};
 pub use pipeline::{steady_state_analysis, PipelineReport, PipelineStage};
 pub use stats::{SimResult, TaskTiming};

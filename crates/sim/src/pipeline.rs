@@ -82,7 +82,10 @@ pub fn steady_state_analysis(stages: &[PipelineStage], items: u64) -> PipelineRe
         .iter()
         .enumerate()
         .map(|(i, s)| (i, s.stage_time))
-        .fold((0, 0.0f64), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+        .fold(
+            (0, 0.0f64),
+            |acc, cur| if cur.1 > acc.1 { cur } else { acc },
+        );
     let fill_time: f64 = stages.iter().map(|s| s.stage_time).sum();
     let total_time = fill_time + (items - 1) as f64 * bottleneck_time;
     let steady_throughput = if bottleneck_time > 0.0 {

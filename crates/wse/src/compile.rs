@@ -165,8 +165,7 @@ pub fn compile(
     workload: &TrainingWorkload,
     budget_pes: Option<u64>,
 ) -> Result<WseCompilation, PlatformError> {
-    let default_budget =
-        (params.usable_grid_fraction * spec.pe_count() as f64).floor() as u64;
+    let default_budget = (params.usable_grid_fraction * spec.pe_count() as f64).floor() as u64;
     let mut budget = budget_pes.unwrap_or(default_budget).min(default_budget);
     // Placement can fail on strip-width rounding when the grid is nearly
     // full; the compiler retries with a slightly smaller budget, which is
@@ -264,8 +263,8 @@ fn compile_with_budget(
         .zip(comp.iter().zip(&trans))
         .map(|(k, (&c, &t))| (k.name(), c + t))
         .collect();
-    let placement = Placement::strips(&regions, spec.grid_rows, spec.grid_cols)
-        .ok_or_else(|| {
+    let placement =
+        Placement::strips(&regions, spec.grid_rows, spec.grid_cols).ok_or_else(|| {
             PlatformError::CompileFailure("kernel strips exceed grid width".to_owned())
         })?;
 
@@ -284,13 +283,12 @@ fn compile_with_budget(
         let weight_per_pe = weight_state_bytes(k.params, precision) / c;
         let act_per_item = k.stored_act_elems as f64 / batch * elem;
         let act_per_pe = act_per_item * params.activation_residency_factor / c;
-        let total =
-            config_per_pe + weight_per_pe + act_per_pe + params.runtime_reserved_bytes;
+        let total = config_per_pe + weight_per_pe + act_per_pe + params.runtime_reserved_bytes;
         worst_pe_bytes = worst_pe_bytes.max(total);
         total_training += (weight_per_pe + act_per_pe) * c;
         let free = sram - total;
-        let memory_efficiency = (free / params.comfort_working_bytes)
-            .clamp(params.min_memory_efficiency, 1.0);
+        let memory_efficiency =
+            (free / params.comfort_working_bytes).clamp(params.min_memory_efficiency, 1.0);
         compiled.push(CompiledKernel {
             kernel: k.clone(),
             comp_pes: comp[i],
@@ -456,7 +454,10 @@ mod tests {
         .allocated_pes();
         assert!(half < full);
         // Per-kernel rounding can spill a handful of PEs past the budget.
-        assert!(half as f64 <= spec.pe_count() as f64 / 4.0 * 1.001, "{half}");
+        assert!(
+            half as f64 <= spec.pe_count() as f64 / 4.0 * 1.001,
+            "{half}"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 mod chip;
 mod compile;
+mod degrade;
 mod kernel;
 mod placement;
 mod platform_impl;
@@ -48,11 +49,12 @@ mod streaming;
 
 pub use chip::{WseCompilerParams, WseSpec};
 pub use compile::{compile, CompiledKernel, WseCompilation, WseMemoryReport};
+pub use degrade::compile_degraded;
 pub use kernel::{kernels_of, Kernel, KernelKind};
-pub use placement::{PlacedRect, Placement};
+pub use placement::{healthy_runs, PlacedRect, Placement};
 pub use runtime::{execute, WseExecution};
 pub use scale::{data_parallel, weight_streaming, ReplicaPlan, WeightStreamingRun};
-pub use streaming::{streaming_schedule, StreamedLayer, StreamingSchedule};
+pub use streaming::{streaming_schedule, try_streaming_schedule, StreamedLayer, StreamingSchedule};
 
 /// The Cerebras WSE-2 platform model.
 ///

@@ -37,7 +37,12 @@ impl Platform for Wse {
 
     fn profile(&self, workload: &TrainingWorkload) -> Result<ChipProfile, PlatformError> {
         let compilation = compile(self.wse_spec(), self.compiler_params(), workload, None)?;
-        let exec = execute(self.wse_spec(), self.compiler_params(), &compilation, workload);
+        let exec = execute(
+            self.wse_spec(),
+            self.compiler_params(),
+            &compilation,
+            workload,
+        );
         Ok(ChipProfile {
             unit_usage: vec![(
                 "pe".to_owned(),
@@ -66,7 +71,8 @@ impl Scalable for Wse {
     ) -> Result<ScalingProfile, PlatformError> {
         match strategy {
             ParallelStrategy::DataParallel { replicas } => {
-                let plan = data_parallel(self.wse_spec(), self.compiler_params(), workload, replicas)?;
+                let plan =
+                    data_parallel(self.wse_spec(), self.compiler_params(), workload, replicas)?;
                 Ok(ScalingProfile {
                     strategy,
                     throughput_tokens_per_s: plan.net_tokens_per_s,

@@ -83,7 +83,9 @@ pub fn execute(
     };
     for (i, k) in compilation.kernels.iter().enumerate() {
         if matches!(k.kernel.kind, KernelKind::Embedding | KernelKind::Loss) {
-            stage_times[i].1 = stage_times[i].1.max(mean_gemm * params.io_kernel_rate_factor);
+            stage_times[i].1 = stage_times[i]
+                .1
+                .max(mean_gemm * params.io_kernel_rate_factor);
         }
     }
 

@@ -112,8 +112,8 @@ pub fn weight_streaming(
     workload: &TrainingWorkload,
 ) -> Result<WeightStreamingRun, PlatformError> {
     let rate = precision_rate_factor(workload.precision(), params);
-    let usable = params.usable_grid_fraction * spec.pe_count() as f64
-        / (1.0 + params.transmission_ratio);
+    let usable =
+        params.usable_grid_fraction * spec.pe_count() as f64 / (1.0 + params.transmission_ratio);
     let compute_rate = usable * spec.peak_flops_per_pe * params.weight_streaming_efficiency * rate;
     let compute_time = workload.training_flops_per_step() / compute_rate;
 
@@ -217,12 +217,8 @@ mod tests {
     #[test]
     fn weight_streaming_handles_very_deep_models() {
         // 96 layers does not compile in pipelined mode but streams fine.
-        let deep = TrainingWorkload::new(
-            ModelConfig::gpt2_probe(768, 96),
-            256,
-            1024,
-            Precision::Fp16,
-        );
+        let deep =
+            TrainingWorkload::new(ModelConfig::gpt2_probe(768, 96), 256, 1024, Precision::Fp16);
         let run = weight_streaming(&spec(), &params(), &deep).unwrap();
         assert!(run.throughput_tokens_per_s > 0.0);
         assert!(run.streaming_fraction < 0.5);

@@ -12,7 +12,7 @@ use crate::chip::{WseCompilerParams, WseSpec};
 use crate::kernel::{kernels_of, Kernel};
 use crate::runtime::precision_rate_factor;
 use dabench_model::TrainingWorkload;
-use dabench_sim::{Resource, Simulation, TaskSpec};
+use dabench_sim::{Resource, SimError, Simulation, TaskSpec};
 use serde::{Deserialize, Serialize};
 
 /// Per-kernel record of the streaming schedule.
@@ -48,10 +48,10 @@ fn kernel_costs(
     rate: f64,
     weight_elem_bytes: u64,
 ) -> StreamedLayer {
-    let usable = params.usable_grid_fraction * spec.pe_count() as f64
-        / (1.0 + params.transmission_ratio);
-    let compute = k.flops
-        / (usable * spec.peak_flops_per_pe * params.weight_streaming_efficiency * rate);
+    let usable =
+        params.usable_grid_fraction * spec.pe_count() as f64 / (1.0 + params.transmission_ratio);
+    let compute =
+        k.flops / (usable * spec.peak_flops_per_pe * params.weight_streaming_efficiency * rate);
     // Weights stream once for forward and once for backward; fold both into
     // the kernel's single scheduling unit.
     let stream = 2.0 * (k.params * weight_elem_bytes) as f64 / spec.external_bw_bytes_per_s;
@@ -67,12 +67,34 @@ fn kernel_costs(
 /// Two resources — the external ingest link and the wafer — with layer
 /// `k`'s compute depending on its own stream and on layer `k-1`'s compute;
 /// the link runs ahead, prefetching.
+///
+/// # Panics
+///
+/// Panics on non-finite kernel costs (a zero-bandwidth link in `spec`);
+/// use [`try_streaming_schedule`] to get the error instead.
 #[must_use]
 pub fn streaming_schedule(
     spec: &WseSpec,
     params: &WseCompilerParams,
     workload: &TrainingWorkload,
 ) -> StreamingSchedule {
+    match try_streaming_schedule(spec, params, workload) {
+        Ok(s) => s,
+        Err(e) => panic!("streaming schedule construction failed: {e}"),
+    }
+}
+
+/// Fallible variant of [`streaming_schedule`].
+///
+/// # Errors
+///
+/// [`SimError::InvalidDuration`] when a kernel's stream or compute cost is
+/// non-finite (degenerate `spec`, e.g. zero external bandwidth).
+pub fn try_streaming_schedule(
+    spec: &WseSpec,
+    params: &WseCompilerParams,
+    workload: &TrainingWorkload,
+) -> Result<StreamingSchedule, SimError> {
     let rate = precision_rate_factor(workload.precision(), params);
     let weight_elem_bytes = workload.precision().bytes_per_element();
     let layers: Vec<StreamedLayer> = kernels_of(workload)
@@ -80,30 +102,34 @@ pub fn streaming_schedule(
         .map(|k| kernel_costs(k, spec, params, rate, weight_elem_bytes))
         .collect();
 
-    let mut sim = Simulation::new(vec![Resource::new("ingest", 1), Resource::new("wafer", 1)]);
+    let mut sim = Simulation::new(vec![
+        Resource::try_new("ingest", 1)?,
+        Resource::try_new("wafer", 1)?,
+    ]);
     let mut prev_compute: Option<usize> = None;
     let mut prev_stream: Option<usize> = None;
     for (i, l) in layers.iter().enumerate() {
-        let mut stream = TaskSpec::new(format!("stream{i}"), 0, l.stream_time_s);
+        let mut stream = TaskSpec::try_new(format!("stream{i}"), 0, l.stream_time_s)?;
         if let Some(p) = prev_stream {
             stream = stream.after(p);
         }
         let stream_id = sim.add_task(stream);
         prev_stream = Some(stream_id);
-        let mut compute = TaskSpec::new(format!("compute{i}"), 1, l.compute_time_s).after(stream_id);
+        let mut compute =
+            TaskSpec::try_new(format!("compute{i}"), 1, l.compute_time_s)?.after(stream_id);
         if let Some(p) = prev_compute {
             compute = compute.after(p);
         }
         prev_compute = Some(sim.add_task(compute));
     }
-    let result = sim.run().expect("streaming schedule is a DAG");
+    let result = sim.run()?;
 
     let total_stream: f64 = layers.iter().map(|l| l.stream_time_s).sum();
     let total_compute: f64 = layers.iter().map(|l| l.compute_time_s).sum();
     let overlapped = result.makespan();
     let serial = total_stream + total_compute;
     let hidden = (serial - overlapped).max(0.0);
-    StreamingSchedule {
+    Ok(StreamingSchedule {
         overlap_efficiency: if total_stream > 0.0 {
             (hidden / total_stream).min(1.0)
         } else {
@@ -113,7 +139,7 @@ pub fn streaming_schedule(
         overlapped_step_s: overlapped,
         serial_step_s: serial,
         layers,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -151,12 +177,9 @@ mod tests {
         // the event schedule can only be faster, by at most the streamed
         // time.
         let w = TrainingWorkload::new(ModelConfig::gpt2_small(), 256, 1024, Precision::Fp16);
-        let analytic = crate::scale::weight_streaming(
-            &WseSpec::cs2(),
-            &WseCompilerParams::default(),
-            &w,
-        )
-        .unwrap();
+        let analytic =
+            crate::scale::weight_streaming(&WseSpec::cs2(), &WseCompilerParams::default(), &w)
+                .unwrap();
         let event = streaming_schedule(&WseSpec::cs2(), &WseCompilerParams::default(), &w);
         assert!(event.overlapped_step_s <= analytic.step_time_s * 1.001);
         let gap = analytic.step_time_s - event.overlapped_step_s;

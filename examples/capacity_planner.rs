@@ -41,7 +41,10 @@ fn main() {
     let wse = Wse::default();
     let wse_max = max_layers(&wse, 120);
     let params = probe(wse_max).model().parameter_count();
-    println!("Cerebras WSE-2 : {wse_max} layers (~{:.0}M params) resident", params as f64 / 1e6);
+    println!(
+        "Cerebras WSE-2 : {wse_max} layers (~{:.0}M params) resident",
+        params as f64 / 1e6
+    );
     let deep = probe(wse_max + 24);
     if let Ok(s) = wse.scale(&deep, ParallelStrategy::WeightStreaming) {
         println!(
@@ -82,7 +85,10 @@ fn main() {
         "\nGraphcore IPU  : {ipu_max} layers per IPU (hard SRAM wall — the paper's Fig. 9(d))"
     );
     for (layers, devices) in [(24u64, 8u32), (48, 16)] {
-        match ipu.scale(&probe(layers), ParallelStrategy::PipelineParallel { devices }) {
+        match ipu.scale(
+            &probe(layers),
+            ParallelStrategy::PipelineParallel { devices },
+        ) {
             Ok(s) => println!(
                 "                 {layers} layers need {devices} IPUs (pipeline) → {:.2e} tokens/s",
                 s.throughput_tokens_per_s

@@ -5,7 +5,9 @@
 //! cargo run --release --example paper_tables
 //! ```
 
-use dabench::experiments::{fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, table2, table3, table4};
+use dabench::experiments::{
+    fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, table2, table3, table4,
+};
 
 fn main() {
     println!("{}", table1::render(&table1::run()));

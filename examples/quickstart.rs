@@ -14,12 +14,8 @@ use dabench::wse::Wse;
 
 fn main() {
     // The paper's workhorse probe: a GPT-2 decoder stack (hidden size 768).
-    let workload = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 6),
-        64,
-        1024,
-        Precision::Fp16,
-    );
+    let workload =
+        TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 64, 1024, Precision::Fp16);
     println!("Workload: {workload}\n");
 
     let wse = Wse::default();

@@ -14,15 +14,15 @@ use dabench::model::{ModelConfig, Precision, TrainingWorkload};
 use dabench::rdu::{execute_sections, partition, CompilationMode, Rdu};
 
 fn main() {
-    let workload = TrainingWorkload::new(
-        ModelConfig::gpt2_probe(768, 12),
-        8,
-        1024,
-        Precision::Fp16,
-    );
+    let workload =
+        TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 8, 1024, Precision::Fp16);
     println!("Workload: {workload}\n");
 
-    for mode in [CompilationMode::O0, CompilationMode::O1, CompilationMode::O3] {
+    for mode in [
+        CompilationMode::O0,
+        CompilationMode::O1,
+        CompilationMode::O3,
+    ] {
         let rdu = Rdu::with_mode(mode);
         let sections = partition(&workload, rdu.rdu_spec(), rdu.compiler_params(), mode);
         let exec = execute_sections(&sections, &workload, rdu.rdu_spec(), rdu.compiler_params());
@@ -39,7 +39,10 @@ fn main() {
             1e3 * exec.step_time_s,
             100.0 * exec.memory_bound_fraction
         );
-        println!("  achieved               : {:.2} TFLOP/s", exec.achieved_tflops);
+        println!(
+            "  achieved               : {:.2} TFLOP/s",
+            exec.achieved_tflops
+        );
         println!(
             "  PCU / PMU allocation   : {:.1}% / {:.1}%  (Eq. 2 weighted)",
             100.0 * report.allocation_of("pcu").unwrap_or(0.0),

@@ -63,7 +63,10 @@ fn main() {
         let c = compile(spec, params, &w, None).expect("12 layers compile");
         let e = execute(spec, params, &c, &w);
         let gain = if last > 0.0 {
-            format!("{:+.1}% vs previous", 100.0 * (e.throughput_tokens_per_s / last - 1.0))
+            format!(
+                "{:+.1}% vs previous",
+                100.0 * (e.throughput_tokens_per_s / last - 1.0)
+            )
         } else {
             String::new()
         };

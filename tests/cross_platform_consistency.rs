@@ -7,7 +7,12 @@ use dabench::rdu::{CompilationMode, Rdu};
 use dabench::wse::Wse;
 
 fn probe(batch: u64) -> TrainingWorkload {
-    TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), batch, 1024, Precision::Fp16)
+    TrainingWorkload::new(
+        ModelConfig::gpt2_probe(768, 6),
+        batch,
+        1024,
+        Precision::Fp16,
+    )
 }
 
 fn platforms() -> Vec<Box<dyn Platform>> {
@@ -64,8 +69,12 @@ fn throughput_identity() {
 #[test]
 fn batch_monotonicity() {
     for p in platforms() {
-        let t16 = tier1::run(p.as_ref(), &probe(16)).unwrap().throughput_tokens_per_s;
-        let t32 = tier1::run(p.as_ref(), &probe(32)).unwrap().throughput_tokens_per_s;
+        let t16 = tier1::run(p.as_ref(), &probe(16))
+            .unwrap()
+            .throughput_tokens_per_s;
+        let t32 = tier1::run(p.as_ref(), &probe(32))
+            .unwrap()
+            .throughput_tokens_per_s;
         assert!(t32 >= t16 * 0.999, "{}: {t16} → {t32}", p.name());
     }
 }

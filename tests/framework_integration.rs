@@ -27,8 +27,7 @@ fn all_platforms() -> Vec<Box<dyn Platform>> {
 fn tier1_runs_on_every_platform() {
     let w = probe();
     for p in all_platforms() {
-        let r = tier1::run(p.as_ref(), &w)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+        let r = tier1::run(p.as_ref(), &w).unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
         assert!(r.achieved_tflops > 0.0, "{}", p.name());
         assert!(r.throughput_tokens_per_s > 0.0, "{}", p.name());
         assert!(r.step_time_s > 0.0, "{}", p.name());
@@ -39,11 +38,7 @@ fn tier1_runs_on_every_platform() {
             r.compute_efficiency
         );
         for (kind, ratio) in &r.allocation {
-            assert!(
-                (0.0..=1.0).contains(ratio),
-                "{}/{kind}: {ratio}",
-                p.name()
-            );
+            assert!((0.0..=1.0).contains(ratio), "{}/{kind}: {ratio}", p.name());
         }
         if let Some(li) = r.load_imbalance {
             assert!((0.0..=1.0 + 1e-9).contains(&li), "{}: {li}", p.name());
@@ -65,7 +60,10 @@ fn tier2_batch_sweeps_are_consistent() {
     for p in all_platforms() {
         let pts = tier2::batch_sweep(p.as_ref(), &w, &[8, 16, 32]);
         assert_eq!(pts.len(), 3);
-        let ok: Vec<f64> = pts.iter().filter_map(|x| x.throughput_tokens_per_s).collect();
+        let ok: Vec<f64> = pts
+            .iter()
+            .filter_map(|x| x.throughput_tokens_per_s)
+            .collect();
         assert!(!ok.is_empty(), "{}", p.name());
         // Throughput never decreases over this small range on any platform.
         assert!(
@@ -83,13 +81,23 @@ fn each_platform_supports_exactly_its_strategy() {
     let rdu = Rdu::with_mode(CompilationMode::O3);
     let ipu = Ipu::default();
 
-    assert!(wse.scale(&w, ParallelStrategy::DataParallel { replicas: 2 }).is_ok());
-    assert!(wse.scale(&w, ParallelStrategy::TensorParallel { degree: 2 }).is_err());
+    assert!(wse
+        .scale(&w, ParallelStrategy::DataParallel { replicas: 2 })
+        .is_ok());
+    assert!(wse
+        .scale(&w, ParallelStrategy::TensorParallel { degree: 2 })
+        .is_err());
 
-    assert!(rdu.scale(&w, ParallelStrategy::TensorParallel { degree: 2 }).is_ok());
-    assert!(rdu.scale(&w, ParallelStrategy::DataParallel { replicas: 2 }).is_err());
+    assert!(rdu
+        .scale(&w, ParallelStrategy::TensorParallel { degree: 2 })
+        .is_ok());
+    assert!(rdu
+        .scale(&w, ParallelStrategy::DataParallel { replicas: 2 })
+        .is_err());
 
-    assert!(ipu.scale(&w, ParallelStrategy::PipelineParallel { devices: 4 }).is_ok());
+    assert!(ipu
+        .scale(&w, ParallelStrategy::PipelineParallel { devices: 4 })
+        .is_ok());
     assert!(ipu.scale(&w, ParallelStrategy::WeightStreaming).is_err());
 }
 
@@ -122,7 +130,11 @@ fn oom_errors_identify_the_level() {
         ))
         .unwrap_err();
     match ipu_err {
-        PlatformError::OutOfMemory { level, required_bytes, capacity_bytes } => {
+        PlatformError::OutOfMemory {
+            level,
+            required_bytes,
+            capacity_bytes,
+        } => {
             assert_eq!(level, "tile-sram");
             assert!(required_bytes > capacity_bytes);
         }

@@ -1,8 +1,8 @@
 //! End-to-end checks of the paper's headline claims (the "Insight" boxes
 //! of Secs. V and VI), each verified through the public experiment API.
 
-use dabench::experiments::{fig10, fig11, fig12, fig7, fig8, table1, table3, table4};
 use dabench::core::BoundKind;
+use dabench::experiments::{fig10, fig11, fig12, fig7, fig8, table1, table3, table4};
 
 /// Sec. V-A insight: the WSE-2 reaches a 92-93% allocation plateau but
 /// fails around ~500M parameters (78 layers at HS 768).
@@ -18,7 +18,9 @@ fn wse_allocation_plateau_and_failure() {
     for v in &plateau {
         assert!((0.85..0.95).contains(v), "{v}");
     }
-    assert!(rows.iter().any(|r| r.layers == 78 && r.allocation_pct.is_none()));
+    assert!(rows
+        .iter()
+        .any(|r| r.layers == 78 && r.allocation_pct.is_none()));
 }
 
 /// Sec. V-A insight: RDU allocation stays below ~60% despite unlimited
@@ -83,7 +85,9 @@ fn roofline_classification() {
 #[test]
 fn scalability_insights() {
     let wse = fig11::run_wse();
-    assert!(wse.windows(2).all(|w| w[1].comm_fraction >= w[0].comm_fraction));
+    assert!(wse
+        .windows(2)
+        .all(|w| w[1].comm_fraction >= w[0].comm_fraction));
 
     let rdu = fig11::run_rdu();
     let tp2 = rdu.iter().find(|r| r.degree == 2).unwrap();
@@ -128,7 +132,12 @@ fn table3_is_fully_populated() {
     let rows = table3::run();
     assert_eq!(rows.len(), 22);
     for r in &rows {
-        assert!(r.throughput.is_some(), "{} {} missing", r.device, r.configuration);
+        assert!(
+            r.throughput.is_some(),
+            "{} {} missing",
+            r.device,
+            r.configuration
+        );
     }
     let rendered = table3::render(&rows).to_string();
     assert!(rendered.lines().count() >= 24);

@@ -2,8 +2,7 @@
 //! randomized model/workload configurations.
 
 use dabench::core::metrics::{
-    allocation_ratio, load_imbalance, weighted_allocation_ratio, weighted_load_imbalance,
-    Roofline,
+    allocation_ratio, load_imbalance, weighted_allocation_ratio, weighted_load_imbalance, Roofline,
 };
 use dabench::core::TaskProfile;
 use dabench::graph::partition::{balanced_contiguous, bottleneck, capacity_contiguous};

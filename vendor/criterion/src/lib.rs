@@ -1,0 +1,69 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's bench targets compiling (and runnable as smoke
+//! tests) without network access: `Bencher::iter` invokes the closure once
+//! and reports wall-clock time instead of collecting statistics.
+
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Stub benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run `f` once under `id`, printing the elapsed time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iterations: 0 };
+        let start = Instant::now();
+        f(&mut b);
+        println!(
+            "bench {id}: {:?} ({} iteration(s), single-shot stub)",
+            start.elapsed(),
+            b.iterations
+        );
+        self
+    }
+}
+
+/// Stub bencher: runs the measured closure exactly once.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Run `f` once (a real criterion would sample it many times).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.iterations += 1;
+        black_box(f());
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace vendors its external dependencies so it builds with no
+//! network access. The framework uses `Serialize`/`Deserialize` purely as
+//! derive markers on its report/profile types — nothing is serialized at
+//! runtime — so the traits here are empty markers with blanket impls, and
+//! the re-exported derives (see `serde_derive`) expand to nothing.
+//!
+//! Swapping the real `serde` back in is a one-line change in the workspace
+//! `Cargo.toml`; no source edits are required.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
