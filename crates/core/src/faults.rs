@@ -18,6 +18,25 @@ use crate::platform::{ChipProfile, Platform};
 use dabench_model::TrainingWorkload;
 use serde::{Deserialize, Serialize};
 
+/// The architectural fault-geometry family of a [`Degradable`] platform.
+///
+/// Plan generators (the `dabench-faults` crate) use this to draw the
+/// fault shapes a platform's architecture actually exhibits. Platforms
+/// report their own family through [`Degradable::fault_kind`] — the
+/// generator never has to guess from a display name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Wafer-scale 2-D PE grid: faults are dead rectangles / column bands
+    /// (Cerebras WSE).
+    WaferGrid,
+    /// Tiled unit fabric: faults are failed PCU/PMU populations and whole
+    /// tiles (SambaNova RDU).
+    TiledFabric,
+    /// Multi-device BSP pipeline: faults are dead tiles and dropped
+    /// devices (Graphcore IPU).
+    BspPipeline,
+}
+
 /// A rectangle of dead PEs on a 2-D fabric, in normalized `[0, 1]`
 /// coordinates so the same fault plan applies to any grid size.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -247,6 +266,10 @@ impl DegradedProfile {
 /// over surviving PCU/PMU counts, and the IPU rebalances pipeline stages
 /// over the remaining devices.
 pub trait Degradable: Platform {
+    /// The fault-geometry family of this platform, used by plan
+    /// generators to draw architecture-appropriate fault shapes.
+    fn fault_kind(&self) -> FaultKind;
+
     /// Profile `workload` on hardware degraded by `faults`.
     ///
     /// # Errors

@@ -34,16 +34,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod error;
 pub mod faults;
 pub mod metrics;
+pub mod parallel;
 mod platform;
 mod report;
 pub mod tier1;
 pub mod tier2;
 
+pub use cache::{cache_stats, tier1_cached, CacheStats, Memoizable};
 pub use error::PlatformError;
-pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultSet, RecoveryCost};
+pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultKind, FaultSet, RecoveryCost};
+pub use parallel::{jobs, par_map, par_map_with, set_jobs};
 pub use platform::{
     ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,
     ParallelStrategy, Platform, Scalable, ScalingProfile, SectionProfile, TaskProfile,

@@ -1,0 +1,186 @@
+//! Deterministic scoped-thread parallel execution.
+//!
+//! The benchmark suite is a batch of independent, pure experiment points
+//! (sweep cells, claim checks, sweep fractions), so it parallelizes
+//! trivially — the only requirement is that parallel runs stay
+//! *byte-identical* to sequential ones. [`par_map`] guarantees that by
+//! collecting results in input order: the worker pool may evaluate points
+//! in any interleaving, but the returned `Vec` (and therefore everything
+//! rendered from it) is independent of scheduling.
+//!
+//! The worker count resolves, in priority order, from:
+//!
+//! 1. an explicit [`set_jobs`] call (the CLI's `--jobs N` flag),
+//! 2. the `DABENCH_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Everything is dependency-free: `std::thread::scope` plus an atomic
+//! work-stealing index, no channels, no rayon.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Explicit worker-count override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the worker count for all subsequent [`par_map`] calls.
+///
+/// Values are clamped to at least 1. This is what the CLI's `--jobs N`
+/// flag calls; it takes precedence over `DABENCH_JOBS` and the detected
+/// hardware parallelism.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The worker count [`par_map`] will use: [`set_jobs`] override, then the
+/// `DABENCH_JOBS` environment variable, then the machine's available
+/// parallelism (1 if detection fails).
+#[must_use]
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = std::env::var("DABENCH_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Map `f` over `items` on a scoped worker pool, returning results in
+/// input order.
+///
+/// Output is byte-identical to `items.iter().map(f).collect()` for any
+/// pure `f`, whatever the worker count: scheduling only changes *when*
+/// each point is evaluated, never where its result lands. Uses the
+/// worker count from [`jobs`].
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any worker.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count, bypassing the global
+/// setting (useful in tests that must not race on [`set_jobs`]).
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` on any worker.
+pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(local) => local,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), n);
+    indexed.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 4, 8, 128] {
+            assert_eq!(
+                par_map_with(workers, &items, |&x| x * x),
+                expected,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_with(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_with(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn non_copy_results_collect_in_order() {
+        let items: Vec<usize> = (0..20).collect();
+        let out = par_map_with(3, &items, |&i| format!("row-{i}"));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("row-{i}"));
+        }
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..8).collect();
+        par_map_with(4, &items, |_| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(PEAK.load(Ordering::SeqCst) > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        par_map_with(2, &items, |&i| {
+            assert!(i != 5, "worker boom");
+            i
+        });
+    }
+
+    #[test]
+    fn jobs_env_var_is_honored_when_unset() {
+        // `jobs()` itself races with `set_jobs` in other tests, so only
+        // check the clamping contract of the resolved value.
+        assert!(jobs() >= 1);
+    }
+}

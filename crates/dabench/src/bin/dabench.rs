@@ -11,9 +11,13 @@
 //! platforms: wse | rdu-o0 | rdu-o1 | rdu-o3 | ipu | gpu
 //! opts: --hidden N  --layers N  --batch N  --seq N
 //!       --precision fp16|bf16|cb16|fp32  --model gpt2-small|gpt2-xl|llama2-7b
+//!       --jobs N   (worker threads; DABENCH_JOBS env var also honored)
 //! ```
+//!
+//! All commands produce byte-identical output regardless of `--jobs`:
+//! parallel work is collected back in input order before printing.
 
-use dabench::core::{tier1, Degradable, Platform};
+use dabench::core::{par_map, set_jobs, tier1, Degradable, Platform};
 use dabench::experiments::{
     ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, summary, table1, table2,
     table3, table4, validation,
@@ -118,7 +122,7 @@ fn platform(name: &str) -> Result<Box<dyn Platform>, String> {
     })
 }
 
-fn degradable(name: &str) -> Result<Box<dyn Degradable>, String> {
+fn degradable(name: &str) -> Result<Box<dyn Degradable + Sync>, String> {
     Ok(match name {
         "wse" => Box::new(Wse::default()),
         "rdu-o0" => Box::new(Rdu::with_mode(CompilationMode::O0)),
@@ -174,88 +178,95 @@ const EXPERIMENTS: [&str; 11] = [
     "fig12",
 ];
 
-/// Print one paper artifact by command name; `false` when unknown.
-fn print_experiment(name: &str) -> bool {
-    match name {
-        "table1" => println!("{}", table1::render(&table1::run())),
+/// The tables behind one paper artifact; `None` when the name is unknown.
+fn experiment_tables(name: &str) -> Option<Vec<dabench::render::Table>> {
+    Some(match name {
+        "table1" => vec![table1::render(&table1::run())],
         "table2" => {
             let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
-            println!("{a}\n{b}");
+            vec![a, b]
         }
-        "table3" => println!("{}", table3::render(&table3::run())),
-        "table4" => println!("{}", table4::render(&table4::run())),
-        "fig6" => println!("{}", fig6::render(&fig6::run())),
-        "fig7" => {
-            println!("{}", fig7::render(&fig7::run_layers(), "a"));
-            println!("{}", fig7::render(&fig7::run_hidden_sizes(), "b"));
-        }
-        "fig8" => {
-            println!("{}", fig8::render(&fig8::run_layers(), "a"));
-            println!("{}", fig8::render(&fig8::run_hidden_sizes(), "b"));
-        }
-        "fig9" => {
-            for t in fig9::render(
-                &fig9::run_wse(),
-                &fig9::run_rdu_layers(),
-                &fig9::run_rdu_hidden(),
-                &fig9::run_ipu(),
-            ) {
-                println!("{t}");
-            }
-        }
-        "fig10" => println!("{}", fig10::render(&fig10::run())),
-        "fig11" => {
-            for t in fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()) {
-                println!("{t}");
-            }
-        }
-        "fig12" => println!("{}", fig12::render(&fig12::run())),
-        _ => return false,
-    }
-    true
+        "table3" => vec![table3::render(&table3::run())],
+        "table4" => vec![table4::render(&table4::run())],
+        "fig6" => vec![fig6::render(&fig6::run())],
+        "fig7" => vec![
+            fig7::render(&fig7::run_layers(), "a"),
+            fig7::render(&fig7::run_hidden_sizes(), "b"),
+        ],
+        "fig8" => vec![
+            fig8::render(&fig8::run_layers(), "a"),
+            fig8::render(&fig8::run_hidden_sizes(), "b"),
+        ],
+        "fig9" => fig9::render(
+            &fig9::run_wse(),
+            &fig9::run_rdu_layers(),
+            &fig9::run_rdu_hidden(),
+            &fig9::run_ipu(),
+        ),
+        "fig10" => vec![fig10::render(&fig10::run())],
+        "fig11" => fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()),
+        "fig12" => vec![fig12::render(&fig12::run())],
+        "ablations" => ablation_tables(),
+        "sensitivity" => vec![sensitivity::render(&sensitivity::run())],
+        _ => return None,
+    })
 }
 
-fn print_ablations() {
-    println!(
-        "{}",
-        ablations::render(
-            "Ablation: WSE transmission-PE overhead (24 layers)",
-            "ratio",
-            &ablations::wse_transmission_ratio(),
-        )
-    );
-    println!(
-        "{}",
-        ablations::render(
-            "Ablation: WSE config-memory growth vs max depth",
-            "coef",
-            &ablations::wse_config_growth(),
-        )
-    );
-    println!(
-        "{}",
-        ablations::render(
-            "Ablation: RDU operator fusion",
-            "fused",
-            &ablations::rdu_fusion()
-        )
-    );
-    println!(
-        "{}",
-        ablations::render(
-            "Ablation: RDU per-section PCU ceiling (HS 1600)",
-            "ceiling",
-            &ablations::rdu_section_ceiling(),
-        )
-    );
-    println!(
-        "{}",
-        ablations::render(
-            "Ablation: IPU activation residency vs capacity",
-            "residency",
-            &ablations::ipu_activation_residency(),
-        )
-    );
+/// Render one paper artifact to the exact text `dabench <name>` prints
+/// (each table followed by a newline, table2's pair joined specially).
+fn render_experiment(name: &str) -> Option<String> {
+    let tables = experiment_tables(name)?;
+    let mut out = String::new();
+    if name == "table2" {
+        // table2 historically prints its two tables as one block.
+        out.push_str(&format!("{}\n{}\n", tables[0], tables[1]));
+    } else {
+        for t in tables {
+            out.push_str(&format!("{t}\n"));
+        }
+    }
+    Some(out)
+}
+
+fn ablation_tables() -> Vec<dabench::render::Table> {
+    let builders: [fn() -> dabench::render::Table; 5] = [
+        || {
+            ablations::render(
+                "Ablation: WSE transmission-PE overhead (24 layers)",
+                "ratio",
+                &ablations::wse_transmission_ratio(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: WSE config-memory growth vs max depth",
+                "coef",
+                &ablations::wse_config_growth(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: RDU operator fusion",
+                "fused",
+                &ablations::rdu_fusion(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: RDU per-section PCU ceiling (HS 1600)",
+                "ceiling",
+                &ablations::rdu_section_ceiling(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: IPU activation residency vs capacity",
+                "residency",
+                &ablations::ipu_activation_residency(),
+            )
+        },
+    ];
+    par_map(&builders, |build| build())
 }
 
 fn usage() -> &'static str {
@@ -273,31 +284,56 @@ fn usage() -> &'static str {
        faults <wse|rdu-o0|rdu-o1|rdu-o3|ipu>     resilience sweep\n\
      options: --hidden N --layers N --batch N --seq N\n\
               --precision fp16|bf16|cb16|fp32 --model <preset>\n\
-     faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N"
+              --jobs N   worker threads (default: all cores; also DABENCH_JOBS)\n\
+     faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N\n\
+     csv targets: table1-4 fig6-12 ablations sensitivity"
+}
+
+/// Strip every `--jobs N` from `args` and apply the last one as the
+/// worker-count override for this process.
+fn extract_jobs(args: &mut Vec<String>) -> Result<(), String> {
+    while let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        if pos + 1 >= args.len() {
+            return Err("--jobs needs a value".to_owned());
+        }
+        let n: usize = args[pos + 1].parse().map_err(|e| format!("--jobs: {e}"))?;
+        if n == 0 {
+            return Err("--jobs must be at least 1".to_owned());
+        }
+        set_jobs(n);
+        args.drain(pos..=pos + 1);
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = extract_jobs(&mut args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let Some(cmd) = args.first() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
     let result: Result<(), String> = match cmd.as_str() {
-        name if print_experiment(name) => Ok(()),
         "all" => {
-            for name in EXPERIMENTS {
-                print_experiment(name);
+            // Render every artifact in parallel, print in paper order;
+            // a name with no renderer is a hard error, not a shrug.
+            let rendered = par_map(&EXPERIMENTS, |name| render_experiment(name));
+            let mut missing = Vec::new();
+            for (name, text) in EXPERIMENTS.iter().zip(&rendered) {
+                match text {
+                    Some(t) => print!("{t}"),
+                    None => missing.push(*name),
+                }
             }
-            Ok(())
-        }
-        "ablations" => {
-            print_ablations();
-            Ok(())
-        }
-        "sensitivity" => {
-            println!("{}", sensitivity::render(&sensitivity::run()));
-            Ok(())
+            if missing.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("no renderer for: {}", missing.join(", ")))
+            }
         }
         "check" => {
             let checks = validation::run();
@@ -314,28 +350,8 @@ fn main() -> ExitCode {
             .first()
             .ok_or_else(|| "csv needs an experiment name".to_owned())
             .and_then(|name| {
-                let tables: Vec<dabench::render::Table> = match name.as_str() {
-                    "table1" => vec![table1::render(&table1::run())],
-                    "table2" => {
-                        let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
-                        vec![a, b]
-                    }
-                    "table3" => vec![table3::render(&table3::run())],
-                    "table4" => vec![table4::render(&table4::run())],
-                    "fig6" => vec![fig6::render(&fig6::run())],
-                    "fig7" => vec![
-                        fig7::render(&fig7::run_layers(), "a"),
-                        fig7::render(&fig7::run_hidden_sizes(), "b"),
-                    ],
-                    "fig8" => vec![
-                        fig8::render(&fig8::run_layers(), "a"),
-                        fig8::render(&fig8::run_hidden_sizes(), "b"),
-                    ],
-                    "fig10" => vec![fig10::render(&fig10::run())],
-                    "fig12" => vec![fig12::render(&fig12::run())],
-                    "sensitivity" => vec![sensitivity::render(&sensitivity::run())],
-                    other => return Err(format!("no CSV export for `{other}`")),
-                };
+                let tables =
+                    experiment_tables(name).ok_or_else(|| format!("no CSV export for `{name}`"))?;
                 for t in tables {
                     print!("{}", t.to_csv());
                 }
@@ -367,7 +383,13 @@ fn main() -> ExitCode {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => match render_experiment(other) {
+            Some(text) => {
+                print!("{text}");
+                Ok(())
+            }
+            None => Err(format!("unknown command `{other}`\n{}", usage())),
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

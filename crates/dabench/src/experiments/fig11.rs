@@ -3,6 +3,7 @@
 
 use super::workloads::llama7b;
 use crate::render::Table;
+use dabench_core::par_map;
 use dabench_ipu::{pipeline_with_allocation, Ipu};
 use dabench_model::{ModelConfig, Precision, TrainingWorkload};
 use dabench_rdu::{tensor_parallel, CompilationMode, Rdu};
@@ -51,44 +52,39 @@ pub struct IpuAllocationRow {
 pub fn run_wse() -> Vec<WseReplicaRow> {
     let wse = Wse::default();
     let mini = TrainingWorkload::new(ModelConfig::gpt2_mini(), 256, 1024, Precision::Fp16);
-    [1u32, 2, 4, 8]
-        .iter()
-        .map(|&replicas| {
-            let plan = data_parallel(wse.wse_spec(), wse.compiler_params(), &mini, replicas)
-                .expect("mini replicates");
-            WseReplicaRow {
-                replicas,
-                computation: plan.computation_tokens_per_s,
-                net: plan.net_tokens_per_s,
-                comm_fraction: plan.communication_fraction,
-            }
-        })
-        .collect()
+    par_map(&[1u32, 2, 4, 8], |&replicas| {
+        let plan = data_parallel(wse.wse_spec(), wse.compiler_params(), &mini, replicas)
+            .expect("mini replicates");
+        WseReplicaRow {
+            replicas,
+            computation: plan.computation_tokens_per_s,
+            net: plan.net_tokens_per_s,
+            comm_fraction: plan.communication_fraction,
+        }
+    })
 }
 
 /// Fig. 11(b): LLaMA-2 7B tensor parallelism on the RDU.
 #[must_use]
 pub fn run_rdu() -> Vec<RduTpRow> {
     let rdu = Rdu::with_mode(CompilationMode::O1);
-    [2u32, 4, 8]
-        .iter()
-        .map(|&degree| {
-            let plan = tensor_parallel(
-                rdu.rdu_spec(),
-                rdu.compiler_params(),
-                CompilationMode::O1,
-                &llama7b(),
-                degree,
-            )
-            .expect("tp plan");
-            RduTpRow {
-                degree,
-                pcu: plan.pcu_allocation,
-                pmu: plan.pmu_allocation,
-                cross_machine: plan.cross_machine,
-            }
-        })
-        .collect()
+    let w = llama7b();
+    par_map(&[2u32, 4, 8], |&degree| {
+        let plan = tensor_parallel(
+            rdu.rdu_spec(),
+            rdu.compiler_params(),
+            CompilationMode::O1,
+            &w,
+            degree,
+        )
+        .expect("tp plan");
+        RduTpRow {
+            degree,
+            pcu: plan.pcu_allocation,
+            pmu: plan.pmu_allocation,
+            cross_machine: plan.cross_machine,
+        }
+    })
 }
 
 /// The nine layer-distribution configurations of Fig. 11(c) (12 layers
@@ -110,18 +106,15 @@ pub const IPU_ALLOCATIONS: [[u64; 3]; 9] = [
 pub fn run_ipu() -> Vec<IpuAllocationRow> {
     let ipu = Ipu::default();
     let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 64, 1024, Precision::Fp16);
-    IPU_ALLOCATIONS
-        .iter()
-        .map(|alloc| {
-            let plan = pipeline_with_allocation(ipu.ipu_spec(), ipu.compiler_params(), &w, alloc)
-                .expect("allocation fits");
-            IpuAllocationRow {
-                allocation: alloc.to_vec(),
-                max_layers: *alloc.iter().max().expect("non-empty"),
-                throughput: plan.throughput_tokens_per_s,
-            }
-        })
-        .collect()
+    par_map(&IPU_ALLOCATIONS, |alloc| {
+        let plan = pipeline_with_allocation(ipu.ipu_spec(), ipu.compiler_params(), &w, alloc)
+            .expect("allocation fits");
+        IpuAllocationRow {
+            allocation: alloc.to_vec(),
+            max_layers: *alloc.iter().max().expect("non-empty"),
+            throughput: plan.throughput_tokens_per_s,
+        }
+    })
 }
 
 /// Render all three panels.

@@ -3,7 +3,8 @@
 
 use super::workloads::{rdu_o1_probe, rdu_probe, RDU_HS_SWEEP, RDU_LAYER_SWEEP, RDU_O1_HS_SWEEP};
 use crate::render::Table;
-use dabench_core::tier1;
+use dabench_core::{par_map, tier1_cached};
+use dabench_model::TrainingWorkload;
 use dabench_rdu::{CompilationMode, Rdu};
 use serde::{Deserialize, Serialize};
 
@@ -20,9 +21,9 @@ pub struct Fig7Row {
     pub pmu_allocation: f64,
 }
 
-fn point(mode: CompilationMode, x: u64, w: &dabench_model::TrainingWorkload) -> Fig7Row {
+fn point(mode: CompilationMode, x: u64, w: &TrainingWorkload) -> Fig7Row {
     let rdu = Rdu::with_mode(mode);
-    let report = tier1::run(&rdu, w).expect("probe profiles");
+    let report = tier1_cached(&rdu, w).expect("probe profiles");
     Fig7Row {
         mode: mode.to_string(),
         x,
@@ -31,32 +32,48 @@ fn point(mode: CompilationMode, x: u64, w: &dabench_model::TrainingWorkload) -> 
     }
 }
 
+/// Profile a list of `(mode, x, workload)` points in parallel, rows in
+/// input order.
+fn points(specs: &[(CompilationMode, u64, TrainingWorkload)]) -> Vec<Fig7Row> {
+    par_map(specs, |(mode, x, w)| point(*mode, *x, w))
+}
+
 /// Fig. 7(a): allocation vs layer count at HS 768 (O0/O3) and the LLaMA
 /// block (O1).
 #[must_use]
 pub fn run_layers() -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
-    for &l in &RDU_LAYER_SWEEP {
-        rows.push(point(CompilationMode::O0, l, &rdu_probe(768, l)));
-        rows.push(point(CompilationMode::O1, l, &rdu_o1_probe(4096, l)));
-        rows.push(point(CompilationMode::O3, l, &rdu_probe(768, l)));
-    }
-    rows
+    let specs: Vec<_> = RDU_LAYER_SWEEP
+        .iter()
+        .flat_map(|&l| {
+            [
+                (CompilationMode::O0, l, rdu_probe(768, l)),
+                (CompilationMode::O1, l, rdu_o1_probe(4096, l)),
+                (CompilationMode::O3, l, rdu_probe(768, l)),
+            ]
+        })
+        .collect();
+    points(&specs)
 }
 
 /// Fig. 7(b): allocation vs hidden size (O0/O3 on 480-1600, O1 on
 /// 3072-8192).
 #[must_use]
 pub fn run_hidden_sizes() -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
-    for &hs in &RDU_HS_SWEEP {
-        rows.push(point(CompilationMode::O0, hs, &rdu_probe(hs, 12)));
-        rows.push(point(CompilationMode::O3, hs, &rdu_probe(hs, 12)));
-    }
-    for &hs in &RDU_O1_HS_SWEEP {
-        rows.push(point(CompilationMode::O1, hs, &rdu_o1_probe(hs, 4)));
-    }
-    rows
+    let mut specs: Vec<_> = RDU_HS_SWEEP
+        .iter()
+        .flat_map(|&hs| {
+            [
+                (CompilationMode::O0, hs, rdu_probe(hs, 12)),
+                (CompilationMode::O3, hs, rdu_probe(hs, 12)),
+            ]
+        })
+        .collect();
+    specs.extend(
+        RDU_O1_HS_SWEEP
+            .iter()
+            .map(|&hs| (CompilationMode::O1, hs, rdu_o1_probe(hs, 4))),
+    );
+    points(&specs)
 }
 
 /// Render one of the two panels.

@@ -2,7 +2,8 @@
 
 use super::workloads::{rdu_o1_probe, rdu_probe, wse_probe, RDU_HS_SWEEP, RDU_LAYER_SWEEP};
 use crate::render::Table;
-use dabench_core::tier1;
+use dabench_core::{par_map, tier1_cached};
+use dabench_model::TrainingWorkload;
 use dabench_rdu::{CompilationMode, Rdu};
 use dabench_wse::Wse;
 use serde::{Deserialize, Serialize};
@@ -18,68 +19,73 @@ pub struct Fig8Row {
     pub li: f64,
 }
 
+/// One LI probe: which platform to profile and on what workload.
+enum LiProbe {
+    Wse(TrainingWorkload),
+    Rdu(CompilationMode, TrainingWorkload),
+}
+
+fn li_of(probe: &LiProbe) -> f64 {
+    match probe {
+        LiProbe::Wse(w) => tier1_cached(&Wse::default(), w)
+            .expect("wse probe compiles")
+            .load_imbalance
+            .expect("wse reports LI"),
+        LiProbe::Rdu(mode, w) => tier1_cached(&Rdu::with_mode(*mode), w)
+            .expect("rdu probe profiles")
+            .load_imbalance
+            .expect("rdu reports LI"),
+    }
+}
+
+/// Profile `(series, x, probe)` points in parallel, rows in input order.
+fn rows_of(specs: &[(String, u64, LiProbe)]) -> Vec<Fig8Row> {
+    par_map(specs, |(series, x, probe)| Fig8Row {
+        series: series.clone(),
+        x: *x,
+        li: li_of(probe),
+    })
+}
+
 /// Fig. 8(a): LI vs layer count.
 #[must_use]
 pub fn run_layers() -> Vec<Fig8Row> {
-    let mut rows = Vec::new();
-    let wse = Wse::default();
-    for &l in &[6u64, 12, 24, 36, 48] {
-        let li = tier1::run(&wse, &wse_probe(l))
-            .expect("wse probe compiles")
-            .load_imbalance
-            .expect("wse reports LI");
-        rows.push(Fig8Row {
-            series: "wse".to_owned(),
-            x: l,
-            li,
-        });
-    }
+    let mut specs: Vec<(String, u64, LiProbe)> = [6u64, 12, 24, 36, 48]
+        .iter()
+        .map(|&l| ("wse".to_owned(), l, LiProbe::Wse(wse_probe(l))))
+        .collect();
     for &l in &RDU_LAYER_SWEEP {
         for (mode, w) in [
             (CompilationMode::O1, rdu_o1_probe(4096, l)),
             (CompilationMode::O3, rdu_probe(768, l)),
         ] {
-            let li = tier1::run(&Rdu::with_mode(mode), &w)
-                .expect("rdu probe profiles")
-                .load_imbalance
-                .expect("rdu reports LI");
-            rows.push(Fig8Row {
-                series: format!("rdu-{mode}"),
-                x: l,
-                li,
-            });
+            specs.push((format!("rdu-{mode}"), l, LiProbe::Rdu(mode, w)));
         }
     }
-    rows
+    rows_of(&specs)
 }
 
 /// Fig. 8(b): RDU LI vs hidden size.
 #[must_use]
 pub fn run_hidden_sizes() -> Vec<Fig8Row> {
-    let mut rows = Vec::new();
-    for &hs in &RDU_HS_SWEEP {
-        let li = tier1::run(&Rdu::with_mode(CompilationMode::O3), &rdu_probe(hs, 12))
-            .expect("o3 probe")
-            .load_imbalance
-            .expect("li");
-        rows.push(Fig8Row {
-            series: "rdu-o3".to_owned(),
-            x: hs,
-            li,
-        });
-    }
-    for &hs in &[3072u64, 4096, 5120, 6686, 8192] {
-        let li = tier1::run(&Rdu::with_mode(CompilationMode::O1), &rdu_o1_probe(hs, 4))
-            .expect("o1 probe")
-            .load_imbalance
-            .expect("li");
-        rows.push(Fig8Row {
-            series: "rdu-o1".to_owned(),
-            x: hs,
-            li,
-        });
-    }
-    rows
+    let mut specs: Vec<(String, u64, LiProbe)> = RDU_HS_SWEEP
+        .iter()
+        .map(|&hs| {
+            (
+                "rdu-o3".to_owned(),
+                hs,
+                LiProbe::Rdu(CompilationMode::O3, rdu_probe(hs, 12)),
+            )
+        })
+        .collect();
+    specs.extend([3072u64, 4096, 5120, 6686, 8192].iter().map(|&hs| {
+        (
+            "rdu-o1".to_owned(),
+            hs,
+            LiProbe::Rdu(CompilationMode::O1, rdu_o1_probe(hs, 4)),
+        )
+    }));
+    rows_of(&specs)
 }
 
 /// Render one panel.

@@ -6,7 +6,7 @@ use super::workloads::{
     RDU_O1_HS_SWEEP,
 };
 use crate::render::{num_or_fail, Table};
-use dabench_core::tier1;
+use dabench_core::{par_map, tier1_cached};
 use dabench_ipu::Ipu;
 use dabench_rdu::{CompilationMode, Rdu};
 use dabench_wse::{compile, execute, Wse};
@@ -55,79 +55,77 @@ pub struct IpuRow {
 #[must_use]
 pub fn run_wse() -> Vec<WseMemoryRow> {
     let wse = Wse::default();
-    [6u64, 12, 18, 24, 36, 48, 60, 72]
-        .iter()
-        .map(|&layers| {
-            let w = wse_probe(layers);
-            let c =
-                compile(wse.wse_spec(), wse.compiler_params(), &w, None).expect("range compiles");
-            let e = execute(wse.wse_spec(), wse.compiler_params(), &c, &w);
-            WseMemoryRow {
-                layers,
-                config_fraction: c.memory.config_fraction(),
-                training_fraction: c.memory.training_fraction(),
-                total_fraction: c.memory.total_fraction(),
-                compute_fraction: e.compute_time_fraction,
-                tflops: e.achieved_tflops,
-            }
-        })
-        .collect()
+    par_map(&[6u64, 12, 18, 24, 36, 48, 60, 72], |&layers| {
+        let w = wse_probe(layers);
+        let c = compile(wse.wse_spec(), wse.compiler_params(), &w, None).expect("range compiles");
+        let e = execute(wse.wse_spec(), wse.compiler_params(), &c, &w);
+        WseMemoryRow {
+            layers,
+            config_fraction: c.memory.config_fraction(),
+            training_fraction: c.memory.training_fraction(),
+            total_fraction: c.memory.total_fraction(),
+            compute_fraction: e.compute_time_fraction,
+            tflops: e.achieved_tflops,
+        }
+    })
 }
 
 /// Fig. 9(b): RDU TFLOPs vs layers (all modes, HS fixed).
 #[must_use]
 pub fn run_rdu_layers() -> Vec<RduTflopsRow> {
-    let mut rows = Vec::new();
-    for &l in &RDU_LAYER_SWEEP {
-        for (mode, w) in [
-            (CompilationMode::O0, rdu_probe(768, l)),
-            (CompilationMode::O1, rdu_o1_probe(4096, l)),
-            (CompilationMode::O3, rdu_probe(768, l)),
-        ] {
-            let r = tier1::run(&Rdu::with_mode(mode), &w).expect("probe profiles");
-            rows.push(RduTflopsRow {
-                mode: mode.to_string(),
-                x: l,
-                tflops: r.achieved_tflops,
-            });
+    let specs: Vec<_> = RDU_LAYER_SWEEP
+        .iter()
+        .flat_map(|&l| {
+            [
+                (CompilationMode::O0, l, rdu_probe(768, l)),
+                (CompilationMode::O1, l, rdu_o1_probe(4096, l)),
+                (CompilationMode::O3, l, rdu_probe(768, l)),
+            ]
+        })
+        .collect();
+    rdu_points(&specs)
+}
+
+/// Profile `(mode, x, workload)` points in parallel, rows in input order.
+fn rdu_points(
+    specs: &[(CompilationMode, u64, dabench_model::TrainingWorkload)],
+) -> Vec<RduTflopsRow> {
+    par_map(specs, |(mode, x, w)| {
+        let r = tier1_cached(&Rdu::with_mode(*mode), w).expect("probe profiles");
+        RduTflopsRow {
+            mode: mode.to_string(),
+            x: *x,
+            tflops: r.achieved_tflops,
         }
-    }
-    rows
+    })
 }
 
 /// Fig. 9(c): RDU TFLOPs vs hidden size.
 #[must_use]
 pub fn run_rdu_hidden() -> Vec<RduTflopsRow> {
-    let mut rows = Vec::new();
-    for &hs in &RDU_HS_SWEEP {
-        for mode in [CompilationMode::O0, CompilationMode::O3] {
-            let r = tier1::run(&Rdu::with_mode(mode), &rdu_probe(hs, 12)).expect("probe");
-            rows.push(RduTflopsRow {
-                mode: mode.to_string(),
-                x: hs,
-                tflops: r.achieved_tflops,
-            });
-        }
-    }
-    for &hs in &RDU_O1_HS_SWEEP {
-        let r =
-            tier1::run(&Rdu::with_mode(CompilationMode::O1), &rdu_o1_probe(hs, 4)).expect("probe");
-        rows.push(RduTflopsRow {
-            mode: "o1".to_owned(),
-            x: hs,
-            tflops: r.achieved_tflops,
-        });
-    }
-    rows
+    let mut specs: Vec<_> = RDU_HS_SWEEP
+        .iter()
+        .flat_map(|&hs| {
+            [
+                (CompilationMode::O0, hs, rdu_probe(hs, 12)),
+                (CompilationMode::O3, hs, rdu_probe(hs, 12)),
+            ]
+        })
+        .collect();
+    specs.extend(
+        RDU_O1_HS_SWEEP
+            .iter()
+            .map(|&hs| (CompilationMode::O1, hs, rdu_o1_probe(hs, 4))),
+    );
+    rdu_points(&specs)
 }
 
 /// Fig. 9(d): IPU memory + TFLOPs vs layers, with the OOM at 10.
 #[must_use]
 pub fn run_ipu() -> Vec<IpuRow> {
     let ipu = Ipu::default();
-    IPU_LAYER_SWEEP
-        .iter()
-        .map(|&layers| match tier1::run(&ipu, &ipu_probe(layers)) {
+    par_map(&IPU_LAYER_SWEEP, |&layers| {
+        match tier1_cached(&ipu, &ipu_probe(layers)) {
             Ok(r) => IpuRow {
                 layers,
                 memory_utilization: r.memory_utilization_of("tile-sram"),
@@ -138,8 +136,8 @@ pub fn run_ipu() -> Vec<IpuRow> {
                 memory_utilization: None,
                 tflops: None,
             },
-        })
-        .collect()
+        }
+    })
 }
 
 /// Render all four panels.

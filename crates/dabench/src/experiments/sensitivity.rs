@@ -9,7 +9,7 @@
 
 use super::workloads::{ipu_probe, rdu_probe, wse_probe};
 use crate::render::Table;
-use dabench_core::Platform;
+use dabench_core::{par_map, Platform};
 use dabench_ipu::{Ipu, IpuCompilerParams, IpuSpec};
 use dabench_rdu::{CompilationMode, Rdu, RduCompilerParams, RduSpec};
 use dabench_wse::{Wse, WseCompilerParams, WseSpec};
@@ -163,13 +163,12 @@ fn ipu_rows() -> Vec<SensitivityRow> {
     rows
 }
 
-/// Run the sensitivity analysis on all three platforms.
+/// Run the sensitivity analysis on all three platforms (one worker per
+/// platform group; rows stay in wse/rdu/ipu order).
 #[must_use]
 pub fn run() -> Vec<SensitivityRow> {
-    let mut rows = wse_rows();
-    rows.extend(rdu_rows());
-    rows.extend(ipu_rows());
-    rows
+    let groups: [fn() -> Vec<SensitivityRow>; 3] = [wse_rows, rdu_rows, ipu_rows];
+    par_map(&groups, |group| group()).concat()
 }
 
 /// Render the elasticity table.

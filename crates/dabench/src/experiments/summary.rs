@@ -6,7 +6,7 @@
 //! each platform profiled at its own canonical configuration.
 
 use crate::render::{num_or_fail, Table};
-use dabench_core::{tier1, Platform, Tier1Report};
+use dabench_core::{par_map, tier1_cached, Memoizable, Tier1Report};
 use dabench_ipu::Ipu;
 use dabench_model::TrainingWorkload;
 use dabench_rdu::{CompilationMode, Rdu};
@@ -22,20 +22,23 @@ pub struct SummaryRow {
     pub report: Option<Tier1Report>,
 }
 
-/// Profile `workload` on all three dataflow platforms.
+/// Profile `workload` on all three dataflow platforms (in parallel,
+/// through the tier-1 cache; rows stay in canonical order).
 #[must_use]
 pub fn run(workload: &TrainingWorkload) -> Vec<SummaryRow> {
-    let wse = Wse::default();
-    let rdu = Rdu::with_mode(CompilationMode::O3);
-    let ipu = Ipu::default();
-    let platforms: Vec<&dyn Platform> = vec![&wse, &rdu, &ipu];
-    platforms
-        .into_iter()
-        .map(|p| SummaryRow {
-            platform: p.name().to_owned(),
-            report: tier1::run(p, workload).ok(),
-        })
-        .collect()
+    fn row_of<P: Memoizable>(platform: &P, workload: &TrainingWorkload) -> SummaryRow {
+        SummaryRow {
+            platform: platform.name().to_owned(),
+            report: tier1_cached(platform, workload).ok(),
+        }
+    }
+    type Probe = fn(&TrainingWorkload) -> SummaryRow;
+    let probes: [Probe; 3] = [
+        |w| row_of(&Wse::default(), w),
+        |w| row_of(&Rdu::with_mode(CompilationMode::O3), w),
+        |w| row_of(&Ipu::default(), w),
+    ];
+    par_map(&probes, |probe| probe(workload))
 }
 
 /// Render the summary.

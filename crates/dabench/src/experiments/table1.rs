@@ -2,6 +2,7 @@
 
 use super::workloads::{wse_probe, WSE_LAYER_SWEEP};
 use crate::render::{pct_or_fail, Table};
+use dabench_core::par_map;
 use dabench_wse::{compile, Wse};
 use serde::{Deserialize, Serialize};
 
@@ -19,23 +20,20 @@ pub struct Table1Row {
 #[must_use]
 pub fn run() -> Vec<Table1Row> {
     let wse = Wse::default();
-    WSE_LAYER_SWEEP
-        .iter()
-        .map(|&layers| {
-            let allocation = compile(
-                wse.wse_spec(),
-                wse.compiler_params(),
-                &wse_probe(layers),
-                None,
-            )
-            .ok()
-            .map(|c| c.allocation_ratio());
-            Table1Row {
-                layers,
-                allocation_pct: allocation,
-            }
-        })
-        .collect()
+    par_map(&WSE_LAYER_SWEEP, |&layers| {
+        let allocation = compile(
+            wse.wse_spec(),
+            wse.compiler_params(),
+            &wse_probe(layers),
+            None,
+        )
+        .ok()
+        .map(|c| c.allocation_ratio());
+        Table1Row {
+            layers,
+            allocation_pct: allocation,
+        }
+    })
 }
 
 /// Render the rows in the paper's layout (layers across, Pe% below).

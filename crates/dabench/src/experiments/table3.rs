@@ -2,7 +2,7 @@
 
 use super::workloads::{gpt2_xl, llama7b};
 use crate::render::{num_or_fail, Table};
-use dabench_core::{ParallelStrategy, Scalable};
+use dabench_core::{par_map, ParallelStrategy, Scalable};
 use dabench_gpu::{megatron_throughput, GpuSpec, MegatronConfig};
 use dabench_ipu::Ipu;
 use dabench_model::{ModelConfig, Precision, TrainingWorkload};
@@ -26,29 +26,33 @@ pub struct Table3Row {
 
 fn wse_rows() -> Vec<Table3Row> {
     let wse = Wse::default();
-    let mk = |model: ModelConfig| TrainingWorkload::new(model, 256, 1024, Precision::Fp16);
-    let mut rows = Vec::new();
-    for (cfg, model, replicas) in [
+    let mk = |model: &ModelConfig| TrainingWorkload::new(model.clone(), 256, 1024, Precision::Fp16);
+    let specs = [
         ("DP0", ModelConfig::gpt2_small(), 1u32),
         ("DP2", ModelConfig::gpt2_small(), 2),
         ("DP4", ModelConfig::gpt2_mini(), 4),
         ("DP8", ModelConfig::gpt2_tiny(), 8),
-    ] {
-        let name = model.name.clone();
+    ];
+    let mut rows = par_map(&specs, |(cfg, model, replicas)| {
         let t = wse
-            .scale(&mk(model), ParallelStrategy::DataParallel { replicas })
+            .scale(
+                &mk(model),
+                ParallelStrategy::DataParallel {
+                    replicas: *replicas,
+                },
+            )
             .ok()
             .map(|p| p.throughput_tokens_per_s);
-        rows.push(Table3Row {
+        Table3Row {
             device: "WSE-2".to_owned(),
-            configuration: cfg.to_owned(),
-            model: name,
+            configuration: (*cfg).to_owned(),
+            model: model.name.clone(),
             throughput: t,
-        });
-    }
+        }
+    });
     let t = wse
         .scale(
-            &mk(ModelConfig::gpt2_small()),
+            &mk(&ModelConfig::gpt2_small()),
             ParallelStrategy::WeightStreaming,
         )
         .ok()
@@ -64,8 +68,7 @@ fn wse_rows() -> Vec<Table3Row> {
 
 fn ipu_rows() -> Vec<Table3Row> {
     let ipu = Ipu::default();
-    let mut rows = Vec::new();
-    for (devices, layers) in [
+    let specs = [
         (4u32, 6u64),
         (4, 12),
         (8, 18),
@@ -74,7 +77,8 @@ fn ipu_rows() -> Vec<Table3Row> {
         (16, 36),
         (16, 42),
         (16, 48),
-    ] {
+    ];
+    par_map(&specs, |&(devices, layers)| {
         let w = TrainingWorkload::new(
             ModelConfig::gpt2_probe(768, layers),
             64,
@@ -85,47 +89,43 @@ fn ipu_rows() -> Vec<Table3Row> {
             .scale(&w, ParallelStrategy::PipelineParallel { devices })
             .ok()
             .map(|p| p.throughput_tokens_per_s);
-        rows.push(Table3Row {
+        Table3Row {
             device: "IPU".to_owned(),
             configuration: format!("{devices}PP"),
             model: format!("{layers}L"),
             throughput: t,
-        });
-    }
-    rows
+        }
+    })
 }
 
 fn rdu_rows() -> Vec<Table3Row> {
     let rdu = Rdu::with_mode(CompilationMode::O1);
-    [2u32, 4, 8]
-        .iter()
-        .map(|&degree| {
-            let t = rdu
-                .scale(&llama7b(), ParallelStrategy::TensorParallel { degree })
-                .ok()
-                .map(|p| p.throughput_tokens_per_s);
-            Table3Row {
-                device: "RDU".to_owned(),
-                configuration: format!("TP{degree}"),
-                model: "7B".to_owned(),
-                throughput: t,
-            }
-        })
-        .collect()
+    let w = llama7b();
+    par_map(&[2u32, 4, 8], |&degree| {
+        let t = rdu
+            .scale(&w, ParallelStrategy::TensorParallel { degree })
+            .ok()
+            .map(|p| p.throughput_tokens_per_s);
+        Table3Row {
+            device: "RDU".to_owned(),
+            configuration: format!("TP{degree}"),
+            model: "7B".to_owned(),
+            throughput: t,
+        }
+    })
 }
 
 fn gpu_rows() -> Vec<Table3Row> {
     let spec = GpuSpec::a100();
-    [
+    let specs = [
         (MegatronConfig::new(8, 1, 1), 64u64),
         (MegatronConfig::new(4, 2, 1), 64),
         (MegatronConfig::new(2, 4, 1), 64),
         (MegatronConfig::new(1, 8, 1), 64),
         (MegatronConfig::new(8, 8, 16), 8192),
         (MegatronConfig::new(4, 4, 64), 8192),
-    ]
-    .iter()
-    .map(|&(config, batch)| {
+    ];
+    par_map(&specs, |&(config, batch)| {
         let t = megatron_throughput(&spec, &gpt2_xl(batch), config)
             .ok()
             .map(|r| r.tokens_per_s_per_gpu);
@@ -136,17 +136,14 @@ fn gpu_rows() -> Vec<Table3Row> {
             throughput: t,
         }
     })
-    .collect()
 }
 
-/// Reproduce every column of Table III.
+/// Reproduce every column of Table III (device groups in parallel, rows
+/// in canonical order).
 #[must_use]
 pub fn run() -> Vec<Table3Row> {
-    let mut rows = wse_rows();
-    rows.extend(ipu_rows());
-    rows.extend(rdu_rows());
-    rows.extend(gpu_rows());
-    rows
+    let groups: [fn() -> Vec<Table3Row>; 4] = [wse_rows, ipu_rows, rdu_rows, gpu_rows];
+    par_map(&groups, |group| group()).concat()
 }
 
 /// Render the table.

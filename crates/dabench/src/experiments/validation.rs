@@ -7,7 +7,7 @@
 
 use super::{fig10, fig11, fig12, fig6, fig7, fig8, fig9, table1, table2, table3, table4};
 use crate::render::Table;
-use dabench_core::BoundKind;
+use dabench_core::{par_map, BoundKind};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one claim check.
@@ -33,11 +33,31 @@ fn check(artifact: &str, claim: &str, passed: bool, evidence: String) -> Check {
 }
 
 /// Run the full scorecard.
+///
+/// Each paper artifact's checks are an independent group; the groups run
+/// in parallel (bounded by [`dabench_core::jobs`]) and are concatenated
+/// back in paper order, so the scorecard is byte-identical at any worker
+/// count.
 #[must_use]
 pub fn run() -> Vec<Check> {
-    let mut checks = Vec::new();
+    let groups: [fn() -> Vec<Check>; 11] = [
+        table1_checks,
+        fig6_checks,
+        table2_checks,
+        fig7_checks,
+        fig8_checks,
+        fig9_checks,
+        fig10_checks,
+        table3_checks,
+        fig11_checks,
+        fig12_checks,
+        table4_checks,
+    ];
+    par_map(&groups, |group| group()).concat()
+}
 
-    // --- Table I ---
+fn table1_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let t1 = table1::run();
     let plateau: Vec<f64> = t1
         .iter()
@@ -64,8 +84,11 @@ pub fn run() -> Vec<Check> {
         fail78,
         format!("78-layer cell = {:?}", t1.last().map(|r| r.allocation_pct)),
     ));
+    checks
+}
 
-    // --- Fig 6 ---
+fn fig6_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let f6 = fig6::run();
     let stable = f6
         .iter()
@@ -86,8 +109,11 @@ pub fn run() -> Vec<Check> {
             f6.last().expect("rows").attention_kernel_pes
         ),
     ));
+    checks
+}
 
-    // --- Table II ---
+fn table2_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let ratios = table2::run_o3();
     let quantized = ratios.iter().all(|r| {
         [2.0 / 3.0, 0.75, 1.0, 2.0, 3.0]
@@ -113,8 +139,11 @@ pub fn run() -> Vec<Check> {
             shards[1].shards, shards[2].shards
         ),
     ));
+    checks
+}
 
-    // --- Fig 7 ---
+fn fig7_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let f7 = fig7::run_layers();
     let o3_above_o0 = f7
         .iter()
@@ -130,8 +159,11 @@ pub fn run() -> Vec<Check> {
             f7.iter().map(|r| r.pcu_allocation).fold(0.0f64, f64::max)
         ),
     ));
+    checks
+}
 
-    // --- Fig 8 ---
+fn fig8_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let f8 = fig8::run_layers();
     let wse_min = f8
         .iter()
@@ -154,8 +186,11 @@ pub fn run() -> Vec<Check> {
         wse_min > 0.94 && o1_min > o3_max,
         format!("WSE min {wse_min:.3}, O1 min {o1_min:.3}, O3 max {o3_max:.3}"),
     ));
+    checks
+}
 
-    // --- Fig 9 ---
+fn fig9_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let wse_mem = fig9::run_wse();
     let cfg = |l: u64| {
         wse_mem
@@ -182,8 +217,11 @@ pub fn run() -> Vec<Check> {
         ipu.last().expect("rows").tflops.is_none(),
         "10-layer cell = Fail".to_owned(),
     ));
+    checks
+}
 
-    // --- Fig 10 ---
+fn fig10_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let f10 = fig10::run();
     let classified = f10.iter().all(|p| {
         if p.platform.contains("wse") {
@@ -198,8 +236,11 @@ pub fn run() -> Vec<Check> {
         classified,
         format!("{} roofline points", f10.len()),
     ));
+    checks
+}
 
-    // --- Table III ---
+fn table3_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let t3 = table3::run();
     let get = |cfg: &str, model: &str| {
         t3.iter()
@@ -222,8 +263,11 @@ pub fn run() -> Vec<Check> {
         dp0 > 0.0 && (0.05..0.35).contains(&(1.0 - ws / dp0)),
         format!("{:.1}% drop", 100.0 * (1.0 - ws / dp0)),
     ));
+    checks
+}
 
-    // --- Fig 11 ---
+fn fig11_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let f11c = fig11::run_ipu();
     let ordered = f11c.iter().all(|a| {
         f11c.iter()
@@ -235,8 +279,11 @@ pub fn run() -> Vec<Check> {
         ordered,
         format!("{} allocations checked", f11c.len()),
     ));
+    checks
+}
 
-    // --- Fig 12 ---
+fn fig12_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let f12 = fig12::run();
     let wse_series = f12
         .iter()
@@ -249,8 +296,11 @@ pub fn run() -> Vec<Check> {
         knee.is_some_and(|k| (100..=300).contains(&k)),
         format!("85%-of-peak knee at batch {knee:?}"),
     ));
+    checks
+}
 
-    // --- Table IV ---
+fn table4_checks() -> Vec<Check> {
+    let mut checks = Vec::new();
     let t4 = table4::run();
     let rdu_gain = table4::gain(&t4, "RDU (7B)").unwrap_or(0.0);
     let ipu_gain = table4::gain(&t4, "IPU").unwrap_or(0.0);

@@ -78,4 +78,78 @@ fn help_succeeds() {
     let (ok, stdout, _) = run(&["help"]);
     assert!(ok);
     assert!(stdout.contains("commands"));
+    assert!(stdout.contains("--jobs"));
+}
+
+#[test]
+fn summary_output_is_jobs_invariant() {
+    let (ok1, seq, _) = run(&["summary", "--layers", "6", "--batch", "16", "--jobs", "1"]);
+    let (ok4, par, _) = run(&["summary", "--layers", "6", "--batch", "16", "--jobs", "4"]);
+    assert!(ok1 && ok4);
+    assert_eq!(seq, par, "summary output must not depend on --jobs");
+}
+
+#[test]
+fn fig7_output_is_jobs_invariant() {
+    let (ok1, seq, _) = run(&["fig7", "--jobs", "1"]);
+    let (ok4, par, _) = run(&["fig7", "--jobs", "4"]);
+    assert!(ok1 && ok4);
+    assert_eq!(seq, par, "fig7 output must not depend on --jobs");
+}
+
+#[test]
+fn faults_output_is_jobs_invariant() {
+    let base = [
+        "faults", "wse", "--seed", "7", "--layers", "6", "--batch", "16",
+    ];
+    let mut seq_args = base.to_vec();
+    seq_args.extend(["--jobs", "1"]);
+    let mut par_args = base.to_vec();
+    par_args.extend(["--jobs", "4"]);
+    let (ok1, seq, _) = run(&seq_args);
+    let (ok4, par, _) = run(&par_args);
+    assert!(ok1 && ok4);
+    assert_eq!(seq, par, "faults output must not depend on --jobs");
+    assert!(seq.contains("Resilience"));
+}
+
+#[test]
+fn jobs_flag_rejects_bad_values() {
+    for bad in ["0", "abc"] {
+        let (ok, _, stderr) = run(&["summary", "--jobs", bad]);
+        assert!(!ok, "--jobs {bad} should fail");
+        assert!(stderr.contains("--jobs"), "{stderr}");
+    }
+    let (ok, _, stderr) = run(&["summary", "--jobs"]);
+    assert!(!ok);
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}
+
+#[test]
+fn csv_exports_every_experiment_and_ablations() {
+    for name in ["table1", "fig9", "fig11", "ablations"] {
+        let (ok, stdout, stderr) = run(&["csv", name]);
+        assert!(ok, "csv {name}: {stderr}");
+        assert!(stdout.contains(','), "csv {name} produced no rows");
+    }
+}
+
+#[test]
+fn csv_rejects_unknown_experiment() {
+    let (ok, _, stderr) = run(&["csv", "fig99"]);
+    assert!(!ok);
+    assert!(stderr.contains("no CSV export"), "{stderr}");
+}
+
+#[test]
+fn faults_failed_points_show_dash_not_zero() {
+    // A 50%-dead plan makes the WSE remap fail; the failed row must not
+    // fabricate a 0.00 s recovery time.
+    let (ok, stdout, _) = run(&[
+        "faults", "wse", "--seed", "7", "--plan", "dead=0.5", "--layers", "6", "--batch", "16",
+    ]);
+    assert!(ok);
+    if let Some(line) = stdout.lines().find(|l| l.contains("FAILED")) {
+        assert!(!line.contains("0.00"), "{line}");
+    }
 }

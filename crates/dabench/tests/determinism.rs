@@ -1,0 +1,63 @@
+//! Determinism guarantees of the parallel runner and the tier-1 cache,
+//! exercised against the real platform models.
+
+use dabench::core::{cache_stats, par_map_with, tier1, tier1_cached};
+use dabench::faults::{render_report, resilience_sweep, PlanSpec};
+use dabench::ipu::Ipu;
+use dabench::model::{ModelConfig, Precision, TrainingWorkload};
+use dabench::rdu::{CompilationMode, Rdu};
+use dabench::wse::Wse;
+
+fn probe() -> TrainingWorkload {
+    TrainingWorkload::new(ModelConfig::gpt2_probe(768, 6), 16, 1024, Precision::Fp16)
+}
+
+#[test]
+fn cached_tier1_equals_cold_run_on_every_platform() {
+    let w = probe();
+    let wse = Wse::default();
+    let rdu = Rdu::with_mode(CompilationMode::O3);
+    let ipu = Ipu::default();
+
+    assert_eq!(tier1_cached(&wse, &w), tier1::run(&wse, &w));
+    assert_eq!(tier1_cached(&rdu, &w), tier1::run(&rdu, &w));
+    assert_eq!(tier1_cached(&ipu, &w), tier1::run(&ipu, &w));
+
+    // Hits are PartialEq-equal to the first (cold) result.
+    assert_eq!(tier1_cached(&wse, &w), tier1_cached(&wse, &w));
+    assert!(cache_stats().hits > 0);
+}
+
+#[test]
+fn cached_errors_match_cold_errors() {
+    // 78 layers OOMs the WSE; the cache must replay the error too.
+    let big = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 78), 16, 1024, Precision::Fp16);
+    let wse = Wse::default();
+    assert_eq!(tier1_cached(&wse, &big), tier1::run(&wse, &big));
+    assert_eq!(tier1_cached(&wse, &big), tier1_cached(&wse, &big));
+}
+
+#[test]
+fn resilience_sweep_is_seed_deterministic_under_parallelism() {
+    let w = probe();
+    let wse = Wse::default();
+    let spec = PlanSpec::default();
+    let a = resilience_sweep(&wse, &w, &spec, 42);
+    let b = resilience_sweep(&wse, &w, &spec, 42);
+    assert_eq!(a, b);
+    assert_eq!(render_report(&a), render_report(&b));
+    assert_ne!(a, resilience_sweep(&wse, &w, &spec, 43));
+}
+
+#[test]
+fn par_map_with_matches_sequential_for_experiment_shaped_work() {
+    let items: Vec<u64> = (0..40).collect();
+    let sequential: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+    for workers in [1, 2, 4, 16] {
+        assert_eq!(
+            par_map_with(workers, &items, |&x| x * x + 1),
+            sequential,
+            "workers={workers}"
+        );
+    }
+}

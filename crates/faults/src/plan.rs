@@ -9,7 +9,7 @@
 
 use crate::rng::SplitMix64;
 use crate::spec::PlanSpec;
-use dabench_core::{DeadRect, Fault, FaultSet};
+use dabench_core::{DeadRect, Fault, FaultKind, FaultSet};
 
 /// The architectural family a plan targets; decides which fault shapes
 /// the generator draws.
@@ -26,7 +26,22 @@ pub enum PlatformKind {
 }
 
 impl PlatformKind {
+    /// The plan family for a platform-reported fault geometry — the
+    /// authoritative mapping, used by sweeps instead of name inference.
+    #[must_use]
+    pub fn from_fault_kind(kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::WaferGrid => Self::Wse,
+            FaultKind::TiledFabric => Self::Rdu,
+            FaultKind::BspPipeline => Self::Ipu,
+        }
+    }
+
     /// Infer the family from a [`dabench_core::Platform::name`] string.
+    ///
+    /// Heuristic only — prefer [`PlatformKind::from_fault_kind`] with
+    /// [`dabench_core::Degradable::fault_kind`] when a platform instance
+    /// is at hand; a renamed platform silently defeats this matcher.
     #[must_use]
     pub fn infer(platform_name: &str) -> Option<Self> {
         let n = platform_name.to_ascii_lowercase();

@@ -13,8 +13,9 @@ pub struct SweepPoint {
     pub retention: Option<f64>,
     /// Degraded throughput, tokens/second, when the remap succeeded.
     pub tokens_per_s: Option<f64>,
-    /// One-time recovery cost (remap + lost work), seconds.
-    pub recover_s: f64,
+    /// One-time recovery cost (remap + lost work), seconds; `None` when
+    /// the remap failed and no recovery happened at all.
+    pub recover_s: Option<f64>,
     /// Why the remap failed, when it did.
     pub error: Option<String>,
 }
@@ -64,7 +65,7 @@ impl ResilienceReport {
             .points
             .iter()
             .filter(|p| p.remapped() && !p.plan.fault_set().is_empty())
-            .map(|p| p.recover_s)
+            .filter_map(|p| p.recover_s)
             .collect();
         if faulted.is_empty() {
             0.0
@@ -93,12 +94,14 @@ pub fn render_report(report: &ResilienceReport) -> String {
         let tokens = p
             .tokens_per_s
             .map_or_else(|| "-".to_owned(), |t| format!("{t:.1}"));
+        let recover = p
+            .recover_s
+            .map_or_else(|| "-".to_owned(), |s| format!("{s:.2}"));
         let status = if p.remapped() { "ok" } else { "FAILED" };
         let labels: Vec<&str> = p.plan.faults.iter().map(|f| f.label.as_str()).collect();
         out.push_str(&format!(
-            "{:>7.1}  {retention:>9}  {tokens:>12}  {:>10.2}  {status:<8}  {}\n",
+            "{:>7.1}  {retention:>9}  {tokens:>12}  {recover:>10}  {status:<8}  {}\n",
             p.fraction * 100.0,
-            p.recover_s,
             if labels.is_empty() {
                 "(none)".to_owned()
             } else {
@@ -141,7 +144,13 @@ mod tests {
             ),
             retention,
             tokens_per_s: retention.map(|r| r * 1000.0),
-            recover_s: if fraction > 0.0 { 40.0 } else { 0.0 },
+            recover_s: if error.is_some() {
+                None
+            } else if fraction > 0.0 {
+                Some(40.0)
+            } else {
+                Some(0.0)
+            },
             error,
         }
     }
@@ -180,5 +189,27 @@ mod tests {
         assert!(a.contains("FAILED"));
         assert!(a.contains("device fault"));
         assert!(a.contains("remap success rate: 2/3"));
+    }
+
+    #[test]
+    fn failed_points_render_no_recovery_time() {
+        let rendered = render_report(&report());
+        let failed_line = rendered
+            .lines()
+            .find(|l| l.contains("FAILED"))
+            .expect("failed point rendered");
+        // A failed remap has no recovery time — the column shows "-",
+        // not a fabricated 0.00 seconds.
+        assert!(failed_line.contains("  -  "), "{failed_line}");
+        assert!(!failed_line.contains("0.00"), "{failed_line}");
+    }
+
+    #[test]
+    fn mean_recover_ignores_failed_points() {
+        let mut r = report();
+        // A failed point must not drag the mean toward zero even if it
+        // carries a (bogus) recover value through some other path.
+        r.points[2].recover_s = None;
+        assert!((r.mean_time_to_recover_s() - 40.0).abs() < 1e-12);
     }
 }

@@ -4,7 +4,7 @@ use crate::plan::{FaultPlan, PlatformKind};
 use crate::report::{ResilienceReport, SweepPoint};
 use crate::rng::SplitMix64;
 use crate::spec::PlanSpec;
-use dabench_core::Degradable;
+use dabench_core::{par_map, Degradable};
 use dabench_model::TrainingWorkload;
 
 /// Dead-fabric fractions every sweep visits, in order.
@@ -17,41 +17,45 @@ pub const FAULT_FRACTIONS: [f64; 6] = [0.0, 0.01, 0.02, 0.05, 0.10, 0.20];
 /// only the dead-fabric fraction varies. A point whose remap fails is
 /// recorded with its error rather than aborting the sweep — a platform
 /// that cannot survive 20% dead fabric is a finding, not a crash.
+///
+/// Points are independent — each forks its own RNG stream off `seed` by
+/// sweep index — so they are evaluated in parallel (respecting
+/// [`dabench_core::jobs`]) and collected back in sweep order; the report
+/// is byte-identical regardless of worker count.
 #[must_use]
 pub fn resilience_sweep(
-    platform: &dyn Degradable,
+    platform: &(dyn Degradable + Sync),
     workload: &TrainingWorkload,
     base: &PlanSpec,
     seed: u64,
 ) -> ResilienceReport {
-    let kind = PlatformKind::infer(platform.name()).unwrap_or(PlatformKind::Rdu);
-    let points = FAULT_FRACTIONS
-        .iter()
-        .enumerate()
-        .map(|(i, &fraction)| {
-            let spec = base.with_dead_fraction(fraction);
-            let mut fork = SplitMix64::fork(seed, i as u64);
-            let plan = FaultPlan::generate(kind, &spec, fork.next_u64());
-            match platform.degrade(workload, &plan.fault_set()) {
-                Ok(d) => SweepPoint {
-                    fraction,
-                    retention: Some(d.throughput_retention()),
-                    tokens_per_s: Some(d.degraded.throughput_tokens_per_s),
-                    recover_s: d.recovery_cost.total_s(),
-                    error: None,
-                    plan,
-                },
-                Err(e) => SweepPoint {
-                    fraction,
-                    retention: None,
-                    tokens_per_s: None,
-                    recover_s: 0.0,
-                    error: Some(e.to_string()),
-                    plan,
-                },
-            }
-        })
-        .collect();
+    // The platform reports its own fault geometry; no name sniffing, no
+    // silent fallback to a wrong plan family.
+    let kind = PlatformKind::from_fault_kind(platform.fault_kind());
+    let indexed: Vec<(usize, f64)> = FAULT_FRACTIONS.iter().copied().enumerate().collect();
+    let points = par_map(&indexed, |&(i, fraction)| {
+        let spec = base.with_dead_fraction(fraction);
+        let mut fork = SplitMix64::fork(seed, i as u64);
+        let plan = FaultPlan::generate(kind, &spec, fork.next_u64());
+        match platform.degrade(workload, &plan.fault_set()) {
+            Ok(d) => SweepPoint {
+                fraction,
+                retention: Some(d.throughput_retention()),
+                tokens_per_s: Some(d.degraded.throughput_tokens_per_s),
+                recover_s: Some(d.recovery_cost.total_s()),
+                error: None,
+                plan,
+            },
+            Err(e) => SweepPoint {
+                fraction,
+                retention: None,
+                tokens_per_s: None,
+                recover_s: None,
+                error: Some(e.to_string()),
+                plan,
+            },
+        }
+    });
     ResilienceReport {
         platform: platform.name().to_owned(),
         seed,

@@ -69,6 +69,20 @@ proptest! {
     }
 }
 
+#[test]
+fn fault_kind_agrees_with_name_inference() {
+    // The platform-reported geometry must match what the (legacy) name
+    // matcher would have guessed for every shipped platform.
+    for (platform, _) in platforms() {
+        assert_eq!(
+            Some(PlatformKind::from_fault_kind(platform.fault_kind())),
+            PlatformKind::infer(platform.name()),
+            "{}",
+            platform.name()
+        );
+    }
+}
+
 proptest! {
     // Each case degrades every platform; keep the sample count modest.
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -77,7 +91,7 @@ proptest! {
     fn degraded_throughput_never_exceeds_healthy(seed in 0u64..10_000, dead in 0.0f64..0.2) {
         let s = spec(dead, 0.85, 1, 1);
         for (platform, batch) in platforms() {
-            let kind = PlatformKind::infer(platform.name()).expect("known platform");
+            let kind = PlatformKind::from_fault_kind(platform.fault_kind());
             let plan = FaultPlan::generate(kind, &s, seed);
             let w = workload(batch);
             if let Ok(d) = platform.degrade(&w, &plan.fault_set()) {
@@ -96,7 +110,7 @@ proptest! {
     fn same_seed_yields_identical_degraded_profiles(seed in 0u64..10_000) {
         let s = spec(0.05, 0.9, 1, 1);
         for (platform, batch) in platforms() {
-            let kind = PlatformKind::infer(platform.name()).expect("known platform");
+            let kind = PlatformKind::from_fault_kind(platform.fault_kind());
             let w = workload(batch);
             let a = platform.degrade(&w, &FaultPlan::generate(kind, &s, seed).fault_set());
             let b = platform.degrade(&w, &FaultPlan::generate(kind, &s, seed).fault_set());

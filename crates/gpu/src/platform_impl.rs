@@ -3,8 +3,8 @@
 use crate::parallelism::{megatron_throughput, MegatronConfig};
 use crate::GpuCluster;
 use dabench_core::{
-    ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,
-    ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile,
+    ChipProfile, ComputeUnitSpec, HardwareSpec, Memoizable, MemoryLevelSpec, MemoryLevelUsage,
+    MemoryScope, ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile,
 };
 use dabench_model::TrainingWorkload;
 
@@ -55,6 +55,12 @@ impl Platform for GpuCluster {
             throughput_tokens_per_s: run.tokens_per_s,
             step_time_s: run.step_time_s,
         })
+    }
+}
+
+impl Memoizable for GpuCluster {
+    fn cache_token(&self) -> String {
+        format!("gpu|{:?}", self.gpu_spec())
     }
 }
 

@@ -11,7 +11,7 @@ use crate::chip::IpuSpec;
 use crate::pipeline::{pipeline_parallel, PipelinePlan};
 use crate::Ipu;
 use dabench_core::{
-    ChipProfile, Degradable, DegradedProfile, FaultSet, MemoryLevelUsage, PlatformError,
+    ChipProfile, Degradable, DegradedProfile, FaultKind, FaultSet, MemoryLevelUsage, PlatformError,
     RecoveryCost, TaskProfile,
 };
 use dabench_model::TrainingWorkload;
@@ -95,6 +95,10 @@ fn profile_of(plan: &PipelinePlan, spec: &IpuSpec, devices: u32) -> ChipProfile 
 }
 
 impl Degradable for Ipu {
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::BspPipeline
+    }
+
     fn degrade(
         &self,
         workload: &TrainingWorkload,

@@ -5,8 +5,8 @@ use crate::memory::decoder_ipu_memory;
 use crate::pipeline::pipeline_parallel;
 use crate::Ipu;
 use dabench_core::{
-    ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,
-    ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile, TaskProfile,
+    ChipProfile, ComputeUnitSpec, HardwareSpec, Memoizable, MemoryLevelSpec, MemoryLevelUsage,
+    MemoryScope, ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile, TaskProfile,
 };
 use dabench_model::TrainingWorkload;
 use dabench_sim::{steady_state_analysis, PipelineStage};
@@ -97,6 +97,12 @@ impl Platform for Ipu {
             throughput_tokens_per_s: workload.tokens_per_step() as f64 / step_time,
             step_time_s: step_time,
         })
+    }
+}
+
+impl Memoizable for Ipu {
+    fn cache_token(&self) -> String {
+        format!("ipu|{:?}|{:?}", self.ipu_spec(), self.compiler_params())
     }
 }
 

@@ -9,7 +9,9 @@
 
 use crate::chip::RduSpec;
 use crate::Rdu;
-use dabench_core::{Degradable, DegradedProfile, FaultSet, Platform, PlatformError, RecoveryCost};
+use dabench_core::{
+    Degradable, DegradedProfile, FaultKind, FaultSet, Platform, PlatformError, RecoveryCost,
+};
 use dabench_model::TrainingWorkload;
 use dabench_sim::{CheckpointModel, RetryPolicy};
 
@@ -54,6 +56,10 @@ pub fn degraded_spec(spec: &RduSpec, faults: &FaultSet) -> Result<RduSpec, Platf
 }
 
 impl Degradable for Rdu {
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::TiledFabric
+    }
+
     fn degrade(
         &self,
         workload: &TrainingWorkload,

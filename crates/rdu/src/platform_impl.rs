@@ -5,9 +5,9 @@ use crate::schedule::execute_sections;
 use crate::tp::tensor_parallel;
 use crate::Rdu;
 use dabench_core::{
-    ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,
-    ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile, SectionProfile,
-    TaskProfile,
+    ChipProfile, ComputeUnitSpec, HardwareSpec, Memoizable, MemoryLevelSpec, MemoryLevelUsage,
+    MemoryScope, ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile,
+    SectionProfile, TaskProfile,
 };
 use dabench_model::TrainingWorkload;
 
@@ -133,6 +133,17 @@ impl Platform for Rdu {
             throughput_tokens_per_s: exec.throughput_tokens_per_s,
             step_time_s: exec.step_time_s,
         })
+    }
+}
+
+impl Memoizable for Rdu {
+    fn cache_token(&self) -> String {
+        format!(
+            "rdu|{:?}|{:?}|{:?}",
+            self.mode(),
+            self.rdu_spec(),
+            self.compiler_params()
+        )
     }
 }
 

@@ -583,4 +583,32 @@ mod tests {
         let e = TaskSpec::try_new("stream3", 0, f64::NAN).unwrap_err();
         assert!(e.to_string().contains("stream3"));
     }
+
+    #[test]
+    fn equal_time_completions_pop_in_task_id_order() {
+        // a and b run concurrently and finish at the same instant; their
+        // dependents contend for one downstream slot. The tie must break
+        // on task id — a's dependent (queued first) starts first — so the
+        // schedule is a pure function of the task list.
+        let mut sim = Simulation::new(vec![Resource::new("up", 2), Resource::new("down", 1)]);
+        let a = sim.add_task(TaskSpec::new("a", 0, 1.0));
+        let b = sim.add_task(TaskSpec::new("b", 0, 1.0));
+        sim.add_task(TaskSpec::new("da", 1, 1.0).after(a));
+        sim.add_task(TaskSpec::new("db", 1, 1.0).after(b));
+        let res = sim.run().unwrap();
+        let da = res.timing_of("da").unwrap();
+        let db = res.timing_of("db").unwrap();
+        assert!((da.start - 1.0).abs() < 1e-12, "{}", da.start);
+        assert!((db.start - 2.0).abs() < 1e-12, "{}", db.start);
+    }
+
+    #[test]
+    fn heap_order_is_time_then_task_id() {
+        let mut heap = BinaryHeap::new();
+        heap.push(Completion { time: 2.0, task: 0 });
+        heap.push(Completion { time: 1.0, task: 2 });
+        heap.push(Completion { time: 1.0, task: 1 });
+        let order: Vec<TaskId> = std::iter::from_fn(|| heap.pop()).map(|c| c.task).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
 }

@@ -13,8 +13,8 @@ use crate::placement::{healthy_runs, Placement};
 use crate::runtime::execute;
 use crate::Wse;
 use dabench_core::{
-    ChipProfile, Degradable, DegradedProfile, FaultSet, MemoryLevelUsage, Platform, PlatformError,
-    RecoveryCost,
+    ChipProfile, Degradable, DegradedProfile, FaultKind, FaultSet, MemoryLevelUsage, Platform,
+    PlatformError, RecoveryCost,
 };
 use dabench_model::TrainingWorkload;
 use dabench_sim::{CheckpointModel, RetryPolicy};
@@ -107,6 +107,10 @@ fn profile_of(
 }
 
 impl Degradable for Wse {
+    fn fault_kind(&self) -> FaultKind {
+        FaultKind::WaferGrid
+    }
+
     fn degrade(
         &self,
         workload: &TrainingWorkload,

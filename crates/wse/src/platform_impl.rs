@@ -5,8 +5,8 @@ use crate::runtime::execute;
 use crate::scale::{data_parallel, weight_streaming};
 use crate::Wse;
 use dabench_core::{
-    ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,
-    ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile,
+    ChipProfile, ComputeUnitSpec, HardwareSpec, Memoizable, MemoryLevelSpec, MemoryLevelUsage,
+    MemoryScope, ParallelStrategy, Platform, PlatformError, Scalable, ScalingProfile,
 };
 use dabench_model::TrainingWorkload;
 
@@ -60,6 +60,12 @@ impl Platform for Wse {
             throughput_tokens_per_s: exec.throughput_tokens_per_s,
             step_time_s: exec.step_time_s,
         })
+    }
+}
+
+impl Memoizable for Wse {
+    fn cache_token(&self) -> String {
+        format!("wse|{:?}|{:?}", self.wse_spec(), self.compiler_params())
     }
 }
 
