@@ -12,6 +12,10 @@
 //! - **Tier 2 — inter-chip scalability and deployment** ([`tier2`]):
 //!   scaling strategies classified through the DP/TP/PP lens, plus batch
 //!   size and precision sweeps.
+//! - **Supervised sweep execution** ([`supervise`]): per-point panic
+//!   isolation, wall-clock deadlines, deterministic retries, and a
+//!   crash-safe run journal enabling `--resume` (see
+//!   `docs/supervision.md`).
 //!
 //! Chips plug in by implementing the [`Platform`] trait (and optionally
 //! [`Scalable`]); the framework then derives every metric from the
@@ -41,6 +45,8 @@ pub mod metrics;
 pub mod parallel;
 mod platform;
 mod report;
+pub mod rng;
+pub mod supervise;
 pub mod tier1;
 pub mod tier2;
 
@@ -54,4 +60,9 @@ pub use platform::{
 };
 pub use report::{
     batch_saturation_point, BatchPoint, BoundKind, PrecisionPoint, Tier1Report, Tier2Report,
+};
+pub use rng::SplitMix64;
+pub use supervise::{
+    catch_labeled, supervise_point, with_point_label, PointOutcome, Replay, RunJournal, RunReport,
+    SupervisePolicy,
 };

@@ -17,7 +17,10 @@
 //! Everything is dependency-free: `std::thread::scope` plus an atomic
 //! work-stealing index, no channels, no rayon.
 
+use crate::supervise::panic_message;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Explicit worker-count override; 0 means "not set".
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -60,7 +63,9 @@ pub fn jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f` on any worker.
+/// Propagates the lowest-index panic raised by `f`, with the panicking
+/// point's index attached to the payload so sweep failures are
+/// diagnosable (`par_map: point 5 panicked: …`).
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -75,7 +80,8 @@ where
 ///
 /// # Panics
 ///
-/// Propagates the first panic raised by `f` on any worker.
+/// Propagates the lowest-index panic raised by `f`, with the panicking
+/// point's index attached to the payload.
 pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -85,9 +91,22 @@ where
     let n = items.len();
     let workers = workers.max(1).min(n);
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(
+                |(i, item)| match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                    Ok(u) => u,
+                    Err(p) => panic!("par_map: point {i} panicked: {}", panic_message(p.as_ref())),
+                },
+            )
+            .collect();
     }
 
+    // Lowest-index panic seen by any worker; propagating the *first* input
+    // that died (not whichever thread lost the race) keeps failures
+    // deterministic enough to reproduce with `--jobs 1`.
+    let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, U)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -99,7 +118,17 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                            Ok(u) => local.push((i, u)),
+                            Err(p) => {
+                                let message = panic_message(p.as_ref());
+                                let mut slot = first_panic.lock().expect("panic slot");
+                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *slot = Some((i, message));
+                                }
+                                break;
+                            }
+                        }
                     }
                     local
                 })
@@ -107,13 +136,13 @@ where
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(local) => local,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
+            .flat_map(|h| h.join().expect("worker panics are caught in-loop"))
             .collect()
     });
 
+    if let Some((i, message)) = first_panic.into_inner().expect("panic slot") {
+        panic!("par_map: point {i} panicked: {message}");
+    }
     indexed.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(indexed.len(), n);
     indexed.into_iter().map(|(_, u)| u).collect()
@@ -175,6 +204,42 @@ mod tests {
             assert!(i != 5, "worker boom");
             i
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map: point 5 panicked")]
+    fn propagated_panics_name_the_point_index() {
+        let items: Vec<u32> = (0..8).collect();
+        par_map_with(3, &items, |&i| {
+            assert!(i != 5, "boom at {i}");
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map: point 2 panicked")]
+    fn sequential_path_also_names_the_point_index() {
+        let items: Vec<u32> = (0..4).collect();
+        par_map_with(1, &items, |&i| {
+            assert!(i != 2, "boom");
+            i
+        });
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        // Two panicking points: the propagated payload must name the
+        // lowest index regardless of which worker loses the race.
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_with(4, &items, |&i| {
+                assert!(!(i == 3 || i == 11), "boom at {i}");
+                i
+            });
+        }))
+        .unwrap_err();
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("point 3 panicked"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,924 @@
+//! Supervised execution of experiment points: panic isolation, wall-clock
+//! deadlines, deterministic retries, and a crash-safe run journal.
+//!
+//! Long multi-point sweeps on real accelerator clusters die in ways the
+//! points themselves cannot anticipate — a compiler panic, a hung run, a
+//! flaky device — and losing an hours-long sweep to one poisoned point is
+//! the dominant operational cost of benchmarking (the failure mode
+//! LLM-Inference-Bench documents across heterogeneous accelerators). This
+//! module wraps every experiment point in a supervisor:
+//!
+//! - **Panic isolation**: a panicking point becomes a structured
+//!   [`PointOutcome::Panicked`] carrying the point's label, instead of
+//!   unwinding through the whole sweep.
+//! - **Deadlines**: [`SupervisePolicy::deadline`] runs the point under a
+//!   watchdog; an overrun is recorded as [`PointOutcome::TimedOut`] and the
+//!   runaway attempt is abandoned (its thread is detached, never joined).
+//! - **Deterministic retries**: attempts that return a *retryable*
+//!   [`PlatformError`] (see [`PlatformError::is_retryable`]) are retried
+//!   with backoff; every attempt receives a seed forked off
+//!   `(policy.seed, point index)` via [`SplitMix64::fork`], so retry
+//!   randomness depends only on the point's identity, never on timing.
+//! - **Crash-safe journal**: [`RunJournal`] appends one fsync'd JSONL
+//!   record per finished point; a killed run can be resumed with
+//!   [`RunJournal::resume`], replaying completed points verbatim so the
+//!   final output is byte-identical to an uninterrupted run.
+//!
+//! The caller folds outcomes into a [`RunReport`] whose rendering is
+//! deterministic (input order, fixed formatting), suitable for diffing
+//! across runs.
+
+use crate::error::PlatformError;
+use crate::rng::SplitMix64;
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek as _, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Render a caught panic payload as text (panics raise `&str` or `String`
+/// payloads in practice; anything else is reported opaquely).
+#[must_use]
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Run `f` catching panics; a panic becomes `Err` carrying the point's
+/// label and the panic message. The lightest supervision primitive — used
+/// where a full [`SupervisePolicy`] is overkill (e.g. per-point isolation
+/// inside `resilience_sweep`).
+///
+/// # Errors
+///
+/// Returns `Err` with a `point `label` panicked: …` message when `f`
+/// panicked.
+pub fn catch_labeled<R>(label: &str, f: impl FnOnce() -> R) -> Result<R, String> {
+    catch_unwind(AssertUnwindSafe(f))
+        .map_err(|p| format!("point `{label}` panicked: {}", panic_message(p.as_ref())))
+}
+
+/// Run `f`, re-raising any panic with the point's label prefixed so the
+/// failure names which sweep point died. Experiments wrap each point in
+/// this so `par_map`'s propagated panic is diagnosable.
+pub fn with_point_label<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(p) => panic!("point `{label}`: {}", panic_message(p.as_ref())),
+    }
+}
+
+/// How the supervisor treats one experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisePolicy {
+    /// Wall-clock budget per attempt; `None` disables the watchdog.
+    pub deadline: Option<Duration>,
+    /// Additional attempts allowed after a retryable failure.
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `backoff * k` (linear, deterministic in
+    /// count though not in wall-clock).
+    pub backoff: Duration,
+    /// Root seed; attempt seeds are forked from `(seed, point index)`.
+    pub seed: u64,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            max_retries: 0,
+            backoff: Duration::from_millis(10),
+            seed: 42,
+        }
+    }
+}
+
+/// Structured result of one supervised experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome<U> {
+    /// The point produced a value (possibly after retries).
+    Completed {
+        /// The point's result.
+        value: U,
+        /// Retries consumed before success (0 = first attempt).
+        retries: u32,
+    },
+    /// The point's value was replayed from a run journal; it was not
+    /// re-executed.
+    Journaled {
+        /// The journaled result.
+        value: U,
+    },
+    /// Every allowed attempt returned an error.
+    Failed {
+        /// The final attempt's error.
+        error: PlatformError,
+        /// Retries consumed (0 = the error was not retryable).
+        retries: u32,
+    },
+    /// An attempt panicked; the message carries the point's label.
+    Panicked {
+        /// Labelled panic message.
+        message: String,
+    },
+    /// An attempt exceeded the wall-clock deadline and was abandoned.
+    TimedOut {
+        /// The deadline that was exceeded.
+        deadline: Duration,
+    },
+}
+
+impl<U> PointOutcome<U> {
+    /// The point's value, when it has one (completed or journaled).
+    #[must_use]
+    pub fn value(&self) -> Option<&U> {
+        match self {
+            PointOutcome::Completed { value, .. } | PointOutcome::Journaled { value } => {
+                Some(value)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the sweep got a value for this point.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.value().is_some()
+    }
+
+    /// Stable status keyword (also the journal's `status` field).
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            PointOutcome::Completed { .. } => "completed",
+            PointOutcome::Journaled { .. } => "journaled",
+            PointOutcome::Failed { .. } => "failed",
+            PointOutcome::Panicked { .. } => "panicked",
+            PointOutcome::TimedOut { .. } => "timed-out",
+        }
+    }
+}
+
+enum AttemptAbort {
+    Panicked(String),
+    TimedOut,
+}
+
+fn run_attempt<U, F>(
+    deadline: Option<Duration>,
+    f: &Arc<F>,
+    attempt_seed: u64,
+) -> Result<Result<U, PlatformError>, AttemptAbort>
+where
+    U: Send + 'static,
+    F: Fn(u64) -> Result<U, PlatformError> + Send + Sync + 'static,
+{
+    let Some(deadline) = deadline else {
+        return catch_unwind(AssertUnwindSafe(|| f(attempt_seed)))
+            .map_err(|p| AttemptAbort::Panicked(panic_message(p.as_ref())));
+    };
+    let (tx, rx) = mpsc::channel();
+    let point = Arc::clone(f);
+    std::thread::Builder::new()
+        .name("dabench-supervised-point".to_owned())
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| point(attempt_seed)));
+            let _ = tx.send(result);
+        })
+        .expect("spawn supervised point thread");
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(p)) => Err(AttemptAbort::Panicked(panic_message(p.as_ref()))),
+        // Timeout: the point thread keeps running detached; we abandon it.
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(AttemptAbort::TimedOut),
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(AttemptAbort::Panicked(
+            "point thread exited without reporting a result".to_owned(),
+        )),
+    }
+}
+
+/// Run one experiment point under full supervision.
+///
+/// `f` receives a deterministic attempt seed forked from
+/// `(policy.seed, index)` — attempt `k` of point `i` sees the same seed in
+/// every run, so retried sweeps reproduce byte-identically. A panicking
+/// attempt is not retried (panics indicate bugs, not flakes); retryable
+/// [`PlatformError`]s are retried up to `policy.max_retries` times with
+/// linear backoff.
+pub fn supervise_point<U, F>(
+    label: &str,
+    index: u64,
+    policy: &SupervisePolicy,
+    f: F,
+) -> PointOutcome<U>
+where
+    U: Send + 'static,
+    F: Fn(u64) -> Result<U, PlatformError> + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut rng = SplitMix64::fork(policy.seed, index);
+    let mut retries = 0u32;
+    loop {
+        let attempt_seed = rng.next_u64();
+        match run_attempt(policy.deadline, &f, attempt_seed) {
+            Ok(Ok(value)) => return PointOutcome::Completed { value, retries },
+            Ok(Err(error)) if error.is_retryable() && retries < policy.max_retries => {
+                retries += 1;
+                std::thread::sleep(policy.backoff * retries);
+            }
+            Ok(Err(error)) => return PointOutcome::Failed { error, retries },
+            Err(AttemptAbort::Panicked(message)) => {
+                return PointOutcome::Panicked {
+                    message: format!("point `{label}`: {message}"),
+                }
+            }
+            Err(AttemptAbort::TimedOut) => {
+                return PointOutcome::TimedOut {
+                    deadline: policy.deadline.unwrap_or_default(),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// Journal schema identifier; bump when the line format changes.
+pub const JOURNAL_SCHEMA: &str = "dabench-journal-v1";
+/// Journal file name inside a run directory.
+pub const JOURNAL_FILE: &str = "journal.jsonl";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse one journal line — a flat JSON object with string values only.
+/// Returns `None` on any syntactic deviation (the caller decides whether
+/// that is a truncated tail or corruption).
+fn parse_journal_line(line: &str) -> Option<BTreeMap<String, String>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = BTreeMap::new();
+
+    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+        if chars.next()? != '"' {
+            return None;
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next()? {
+                '"' => return Some(out),
+                '\\' => match chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                        let code = u32::from_str_radix(&hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            _ => {
+                let key = parse_string(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                skip_ws(&mut chars);
+                let value = parse_string(&mut chars)?;
+                fields.insert(key, value);
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None; // trailing garbage after the object
+    }
+    Some(fields)
+}
+
+/// What replaying a journal found.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Replay {
+    /// Completed points: label → journaled result, replayed verbatim.
+    pub completed: BTreeMap<String, String>,
+    /// Labels journaled with a non-completed status (they will re-run).
+    pub unfinished: Vec<String>,
+    /// A truncated or corrupt *trailing* line that was discarded (the
+    /// expected residue of a `SIGKILL` mid-append). The journal file is
+    /// healed — truncated back to its last valid line — before reuse.
+    pub dropped_tail: Option<String>,
+}
+
+/// Append-only, fsync-on-append run journal (`journal.jsonl` inside a run
+/// directory).
+///
+/// Line 1 is a header `{"schema":"dabench-journal-v1"}`; each subsequent
+/// line records one finished point: `{"label":…,"status":…,"data":…}`.
+/// `data` holds the point's rendered result for `completed` records and a
+/// failure description otherwise. Every append is flushed and fsync'd
+/// before returning, so a record is durable once the point is reported
+/// done — the journal can lose at most the line being written when the
+/// process is killed, which [`RunJournal::resume`] detects and discards.
+#[derive(Debug)]
+pub struct RunJournal {
+    file: File,
+    path: PathBuf,
+}
+
+impl RunJournal {
+    /// Path of the journal inside `dir`.
+    #[must_use]
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(JOURNAL_FILE)
+    }
+
+    /// Start a fresh journal in `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` already contains a journal (resume it or pick a new
+    /// directory — silently overwriting a crashed run's journal would
+    /// destroy the state `--resume` needs), or on any I/O error.
+    pub fn create(dir: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::path_in(dir);
+        if path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{} already exists; pass --resume to continue it",
+                    path.display()
+                ),
+            ));
+        }
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(file, "{{\"schema\":\"{JOURNAL_SCHEMA}\"}}")?;
+        file.sync_all()?;
+        Ok(Self { file, path })
+    }
+
+    /// Reopen the journal in `dir`, replaying every durable record.
+    ///
+    /// A missing or empty journal resumes as a fresh run. A truncated or
+    /// unparseable **trailing** line is discarded (reported via
+    /// [`Replay::dropped_tail`]) and the file is truncated back to its
+    /// last valid line, so subsequent appends stay well-formed. An invalid
+    /// line **followed by valid lines** is real corruption and is a hard
+    /// error — resuming past it could silently drop completed work.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a schema mismatch, or mid-file corruption.
+    pub fn resume(dir: &Path) -> io::Result<(Self, Replay)> {
+        let path = Self::path_in(dir);
+        if !path.exists() {
+            let journal = Self::create(dir)?;
+            return Ok((journal, Replay::default()));
+        }
+        let mut contents = String::new();
+        File::open(&path)?.read_to_string(&mut contents)?;
+
+        let mut replay = Replay::default();
+        let mut valid_bytes = 0usize;
+        let mut line_no = 0usize;
+        let mut invalid: Option<(usize, String)> = None;
+        let mut rest = contents.as_str();
+        while !rest.is_empty() {
+            let (line, consumed, complete) = match rest.find('\n') {
+                Some(pos) => (&rest[..pos], pos + 1, true),
+                None => (rest, rest.len(), false),
+            };
+            line_no += 1;
+            let parsed = if complete {
+                parse_journal_line(line)
+            } else {
+                None // no trailing newline: the append was cut mid-line
+            };
+            match parsed {
+                Some(fields) if invalid.is_none() => {
+                    if line_no == 1 {
+                        let schema = fields.get("schema").map(String::as_str);
+                        if schema != Some(JOURNAL_SCHEMA) {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "{}: unsupported journal schema {:?} (expected {JOURNAL_SCHEMA:?})",
+                                    path.display(),
+                                    schema.unwrap_or("<missing>")
+                                ),
+                            ));
+                        }
+                    } else {
+                        let label = fields.get("label").cloned().unwrap_or_default();
+                        match (fields.get("status").map(String::as_str), fields.get("data")) {
+                            (Some("completed"), Some(data)) => {
+                                replay.completed.insert(label, data.clone());
+                            }
+                            _ => replay.unfinished.push(label),
+                        }
+                    }
+                    valid_bytes += consumed;
+                }
+                Some(_) | None if invalid.is_none() => {
+                    invalid = Some((line_no, line.to_owned()));
+                }
+                _ => {
+                    // A second line after an invalid one: mid-file corruption.
+                    let (bad_line, bad_text) = invalid.expect("recorded invalid line");
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "{}: corrupt journal line {bad_line} ({bad_text:?}) is followed by \
+                             more records; refusing to resume past possible lost work",
+                            path.display()
+                        ),
+                    ));
+                }
+            }
+            rest = &rest[consumed..];
+        }
+        if let Some((_, tail)) = invalid {
+            replay.dropped_tail = Some(tail);
+        }
+
+        // Heal a dropped tail: truncate to the last valid record so the
+        // next append starts on a fresh line.
+        let file = OpenOptions::new().read(true).append(true).open(&path)?;
+        if valid_bytes < contents.len() {
+            file.set_len(valid_bytes as u64)?;
+            file.sync_all()?;
+        }
+        let mut journal = Self { file, path };
+        if valid_bytes == 0 {
+            // Empty (or fully discarded) file: rewrite the header.
+            writeln!(journal.file, "{{\"schema\":\"{JOURNAL_SCHEMA}\"}}")?;
+            journal.file.sync_all()?;
+        }
+        journal.file.seek(io::SeekFrom::End(0))?;
+        Ok((journal, replay))
+    }
+
+    /// Durably append one point record (`data` is the rendered result for
+    /// completed points, a failure description otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/fsync failures — a journal that cannot persist
+    /// must fail loudly, or `--resume` would silently re-run points.
+    pub fn append(&mut self, label: &str, status: &str, data: &str) -> io::Result<()> {
+        writeln!(
+            self.file,
+            "{{\"label\":\"{}\",\"status\":\"{}\",\"data\":\"{}\"}}",
+            json_escape(label),
+            json_escape(status),
+            json_escape(data)
+        )?;
+        self.file.sync_all()
+    }
+
+    /// Where this journal lives on disk.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+// ---------------------------------------------------------------------------
+
+/// Deterministic summary of a supervised run: every point's label, status,
+/// and failure detail, in the order recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    entries: Vec<(String, &'static str, Option<String>)>,
+    retried: usize,
+}
+
+impl RunReport {
+    /// Fold one point's outcome into the report.
+    pub fn record<U>(&mut self, label: &str, outcome: &PointOutcome<U>) {
+        let detail = match outcome {
+            PointOutcome::Completed { retries, .. } => {
+                if *retries > 0 {
+                    self.retried += 1;
+                    Some(format!("after {retries} retr{}", plural_y(*retries)))
+                } else {
+                    None
+                }
+            }
+            PointOutcome::Journaled { .. } => None,
+            PointOutcome::Failed { error, retries } => Some(if *retries > 0 {
+                format!("{error} (after {retries} retr{})", plural_y(*retries))
+            } else {
+                error.to_string()
+            }),
+            PointOutcome::Panicked { message } => Some(message.clone()),
+            PointOutcome::TimedOut { deadline } => {
+                Some(format!("exceeded {:.1} s deadline", deadline.as_secs_f64()))
+            }
+        };
+        self.entries
+            .push((label.to_owned(), outcome.status(), detail));
+    }
+
+    /// Number of recorded points with the given status keyword.
+    #[must_use]
+    pub fn count(&self, status: &str) -> usize {
+        self.entries.iter().filter(|(_, s, _)| *s == status).count()
+    }
+
+    /// Whether every point produced a value (completed or journaled).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|(_, s, _)| *s == "completed" || *s == "journaled")
+    }
+
+    /// Render the report (deterministic: recorded order, fixed format).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "run report: {} points — {} completed ({} retried), {} from journal, {} failed, {} panicked, {} timed out\n",
+            self.entries.len(),
+            self.count("completed"),
+            self.retried,
+            self.count("journaled"),
+            self.count("failed"),
+            self.count("panicked"),
+            self.count("timed-out"),
+        );
+        for (label, status, detail) in &self.entries {
+            if *status == "completed" && detail.is_none() || *status == "journaled" {
+                continue;
+            }
+            let detail = detail.as_deref().unwrap_or("");
+            out.push_str(&format!("  [{status:>9}] {label}: {detail}\n"));
+        }
+        out
+    }
+}
+
+fn plural_y(n: u32) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Mutex;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dabench-supervise-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn panicking_point_becomes_labelled_outcome() {
+        let outcome: PointOutcome<u32> =
+            supervise_point("fig9 L=72", 3, &SupervisePolicy::default(), |_| {
+                panic!("index out of bounds")
+            });
+        match outcome {
+            PointOutcome::Panicked { message } => {
+                assert!(message.contains("fig9 L=72"), "{message}");
+                assert!(message.contains("index out of bounds"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retryable_error_is_retried_to_success() {
+        let attempts = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&attempts);
+        let policy = SupervisePolicy {
+            max_retries: 3,
+            backoff: Duration::from_millis(1),
+            ..SupervisePolicy::default()
+        };
+        let outcome = supervise_point("flaky", 0, &policy, move |_| {
+            if seen.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(PlatformError::DeviceFault {
+                    unit: "pe".into(),
+                    detail: "transient".into(),
+                })
+            } else {
+                Ok(7u32)
+            }
+        });
+        assert_eq!(
+            outcome,
+            PointOutcome::Completed {
+                value: 7,
+                retries: 2
+            }
+        );
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn non_retryable_error_fails_immediately() {
+        let attempts = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&attempts);
+        let policy = SupervisePolicy {
+            max_retries: 5,
+            ..SupervisePolicy::default()
+        };
+        let outcome: PointOutcome<u32> = supervise_point("oom", 0, &policy, move |_| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            Err(PlatformError::Unsupported("no such strategy".into()))
+        });
+        assert!(matches!(outcome, PointOutcome::Failed { retries: 0, .. }));
+        assert_eq!(attempts.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn attempt_seeds_are_deterministic_per_point_and_attempt() {
+        let record = |idx: u64| {
+            let seeds = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&seeds);
+            let policy = SupervisePolicy {
+                max_retries: 2,
+                backoff: Duration::from_millis(1),
+                ..SupervisePolicy::default()
+            };
+            let _ = supervise_point("seeded", idx, &policy, move |seed| {
+                sink.lock().unwrap().push(seed);
+                Err::<u32, _>(PlatformError::DeviceFault {
+                    unit: "pe".into(),
+                    detail: "flake".into(),
+                })
+            });
+            let seeds = seeds.lock().unwrap().clone();
+            seeds
+        };
+        let a = record(5);
+        assert_eq!(a.len(), 3, "1 attempt + 2 retries");
+        assert_eq!(a, record(5), "same point, same seeds");
+        assert_ne!(a, record(6), "different points draw different streams");
+    }
+
+    #[test]
+    fn deadline_marks_overrun_and_abandons_the_point() {
+        let policy = SupervisePolicy {
+            deadline: Some(Duration::from_millis(30)),
+            ..SupervisePolicy::default()
+        };
+        let start = std::time::Instant::now();
+        let outcome: PointOutcome<u32> = supervise_point("hung", 0, &policy, |_| {
+            std::thread::sleep(Duration::from_secs(30));
+            Ok(1)
+        });
+        assert!(matches!(outcome, PointOutcome::TimedOut { .. }));
+        assert!(start.elapsed() < Duration::from_secs(5), "watchdog fired");
+
+        // A fast point under the same deadline completes normally.
+        let ok = supervise_point("fast", 0, &policy, |_| Ok(2u32));
+        assert_eq!(
+            ok,
+            PointOutcome::Completed {
+                value: 2,
+                retries: 0
+            }
+        );
+    }
+
+    #[test]
+    fn catch_labeled_and_with_point_label_attach_the_label() {
+        assert_eq!(catch_labeled("p", || 3), Ok(3));
+        let err = catch_labeled("table1 L=78", || -> u32 { panic!("boom") }).unwrap_err();
+        assert!(err.contains("table1 L=78") && err.contains("boom"), "{err}");
+
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_point_label("fig7 o3 x=24", || -> u32 { panic!("probe died") })
+        }))
+        .unwrap_err();
+        let msg = panic_message(caught.as_ref());
+        assert!(
+            msg.contains("fig7 o3 x=24") && msg.contains("probe died"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn json_escaping_roundtrips_through_the_parser() {
+        let nasty = "line1\nline2\t\"quoted\" \\ back\u{1}slash é";
+        let line = format!(
+            "{{\"label\":\"{}\",\"status\":\"completed\",\"data\":\"{}\"}}",
+            json_escape("p"),
+            json_escape(nasty)
+        );
+        let fields = parse_journal_line(&line).expect("parses");
+        assert_eq!(fields.get("data").map(String::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn journal_roundtrip_replays_completed_points() {
+        let dir = temp_dir("roundtrip");
+        let mut journal = RunJournal::create(&dir).unwrap();
+        journal
+            .append("table1", "completed", "Table I\nrow\n")
+            .unwrap();
+        journal
+            .append("fig9", "panicked", "point `fig9`: boom")
+            .unwrap();
+        journal.append("fig6", "completed", "Fig 6 body").unwrap();
+        drop(journal);
+
+        let (_journal, replay) = RunJournal::resume(&dir).unwrap();
+        assert_eq!(
+            replay.completed.get("table1").map(String::as_str),
+            Some("Table I\nrow\n")
+        );
+        assert_eq!(
+            replay.completed.get("fig6").map(String::as_str),
+            Some("Fig 6 body")
+        );
+        assert!(
+            !replay.completed.contains_key("fig9"),
+            "panicked points re-run"
+        );
+        assert_eq!(replay.unfinished, vec!["fig9".to_owned()]);
+        assert_eq!(replay.dropped_tail, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_reported_and_healed() {
+        let dir = temp_dir("tail");
+        let mut journal = RunJournal::create(&dir).unwrap();
+        journal.append("table1", "completed", "T1").unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        // Simulate a SIGKILL mid-append: a partial record, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        write!(f, "{{\"label\":\"fig6\",\"status\":\"comp").unwrap();
+        drop(f);
+
+        let (mut journal, replay) = RunJournal::resume(&dir).unwrap();
+        assert!(replay.dropped_tail.as_deref().unwrap().contains("fig6"));
+        assert_eq!(replay.completed.len(), 1);
+        // The file was healed: appending and re-resuming is clean.
+        journal.append("fig6", "completed", "F6").unwrap();
+        drop(journal);
+        let (_j, replay2) = RunJournal::resume(&dir).unwrap();
+        assert_eq!(replay2.dropped_tail, None);
+        assert_eq!(replay2.completed.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let dir = temp_dir("corrupt");
+        let mut journal = RunJournal::create(&dir).unwrap();
+        journal.append("table1", "completed", "T1").unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let patched = text.replacen(
+            "{\"label\":\"table1\"",
+            "garbage not json oops\n{\"label\":\"table1\"",
+            1,
+        );
+        std::fs::write(&path, patched).unwrap();
+        let err = RunJournal::resume(&dir).unwrap_err();
+        assert!(err.to_string().contains("corrupt journal line"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_an_existing_journal() {
+        let dir = temp_dir("clobber");
+        let _journal = RunJournal::create(&dir).unwrap();
+        let err = RunJournal::create(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert!(err.to_string().contains("--resume"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let dir = temp_dir("schema");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            RunJournal::path_in(&dir),
+            "{\"schema\":\"dabench-journal-v999\"}\n",
+        )
+        .unwrap();
+        let err = RunJournal::resume(&dir).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_report_counts_and_renders_deterministically() {
+        let mut report = RunReport::default();
+        report.record(
+            "table1",
+            &PointOutcome::Completed {
+                value: 1u32,
+                retries: 0,
+            },
+        );
+        report.record(
+            "table2",
+            &PointOutcome::Completed {
+                value: 2u32,
+                retries: 1,
+            },
+        );
+        report.record("fig6", &PointOutcome::Journaled { value: 3u32 });
+        report.record(
+            "fig9",
+            &PointOutcome::<u32>::Panicked {
+                message: "point `fig9`: boom".into(),
+            },
+        );
+        report.record(
+            "fig11",
+            &PointOutcome::<u32>::TimedOut {
+                deadline: Duration::from_secs(2),
+            },
+        );
+        assert!(!report.is_clean());
+        assert_eq!(report.count("completed"), 2);
+        assert_eq!(report.count("journaled"), 1);
+        let rendered = report.render();
+        assert_eq!(rendered, report.render(), "rendering is deterministic");
+        assert!(rendered.contains("5 points"), "{rendered}");
+        assert!(rendered.contains("2 completed (1 retried)"), "{rendered}");
+        assert!(rendered.contains("1 panicked"), "{rendered}");
+        assert!(rendered.contains("exceeded 2.0 s deadline"), "{rendered}");
+        assert!(rendered.contains("fig9: point `fig9`: boom"), "{rendered}");
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! dabench table1|table2|table3|table4        reproduce a paper table
 //! dabench fig6|fig7|fig8|fig9|fig10|fig11|fig12   reproduce a paper figure
-//! dabench all                                everything above
+//! dabench all                                everything above, supervised
 //! dabench ablations                          design-choice ablations
 //! dabench tier1 <platform> [opts]            profile one workload
 //! dabench summary [opts]                     all platforms, one workload
@@ -12,12 +12,24 @@
 //! opts: --hidden N  --layers N  --batch N  --seq N
 //!       --precision fp16|bf16|cb16|fp32  --model gpt2-small|gpt2-xl|llama2-7b
 //!       --jobs N   (worker threads; DABENCH_JOBS env var also honored)
+//! all opts: --run-dir D  --resume D  --deadline-s S  --max-retries N
 //! ```
 //!
 //! All commands produce byte-identical output regardless of `--jobs`:
 //! parallel work is collected back in input order before printing.
+//!
+//! `all` runs under the supervision layer (`dabench_core::supervise`, see
+//! docs/supervision.md): each paper artifact is one supervised point with
+//! panic isolation, an optional wall-clock deadline, deterministic
+//! retries, and — with `--run-dir` — a crash-safe journal that `--resume`
+//! replays to produce byte-identical output after a mid-run kill. Exit
+//! code 2 flags a run that completed with failed/panicked/timed-out
+//! points.
 
-use dabench::core::{par_map, set_jobs, tier1, Degradable, Platform};
+use dabench::core::supervise::{PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy};
+use dabench::core::{
+    par_map, set_jobs, supervise_point, tier1, Degradable, Platform, PlatformError,
+};
 use dabench::experiments::{
     ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, summary, table1, table2,
     table3, table4, validation,
@@ -269,12 +281,195 @@ fn ablation_tables() -> Vec<dabench::render::Table> {
     par_map(&builders, |build| build())
 }
 
+/// Options for the supervised `all` run.
+struct AllOpts {
+    run_dir: Option<std::path::PathBuf>,
+    resume: bool,
+    deadline: Option<std::time::Duration>,
+    max_retries: u32,
+}
+
+fn parse_all_opts(args: &[String]) -> Result<AllOpts, String> {
+    let mut opts = AllOpts {
+        run_dir: None,
+        resume: false,
+        deadline: None,
+        max_retries: 0,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--run-dir" => {
+                opts.run_dir = Some(value()?.into());
+            }
+            "--resume" => {
+                opts.run_dir = Some(value()?.into());
+                opts.resume = true;
+            }
+            "--deadline-s" => {
+                let s: f64 = value()?.parse().map_err(|e| format!("--deadline-s: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!("--deadline-s: {s} is not a positive number"));
+                }
+                opts.deadline = Some(std::time::Duration::from_secs_f64(s));
+            }
+            "--max-retries" => {
+                opts.max_retries = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}` for all")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Test-only failure injection, from the `DABENCH_INJECT` env var:
+/// a comma-separated list of `<experiment>=panic` or
+/// `<experiment>=sleep:SECS` clauses. Lets the integration tests and the
+/// crash-resume CI job exercise panic isolation, deadlines, and mid-run
+/// kills without planting bugs in the experiments themselves.
+#[derive(Debug, Clone, Copy)]
+enum Injection {
+    Panic,
+    SleepSecs(f64),
+}
+
+fn parse_injections() -> Result<std::collections::BTreeMap<String, Injection>, String> {
+    let mut map = std::collections::BTreeMap::new();
+    let Ok(raw) = std::env::var("DABENCH_INJECT") else {
+        return Ok(map);
+    };
+    for clause in raw.split(',').filter(|c| !c.trim().is_empty()) {
+        let (name, action) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("DABENCH_INJECT `{clause}`: expected name=action"))?;
+        let injection = if action == "panic" {
+            Injection::Panic
+        } else if let Some(secs) = action.strip_prefix("sleep:") {
+            Injection::SleepSecs(
+                secs.parse()
+                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+            )
+        } else {
+            return Err(format!(
+                "DABENCH_INJECT `{clause}`: expected panic or sleep:SECS"
+            ));
+        };
+        map.insert(name.trim().to_owned(), injection);
+    }
+    Ok(map)
+}
+
+/// Supervised `dabench all`: every artifact is one supervised point.
+/// Successful texts print to stdout in paper order (byte-identical to the
+/// unsupervised per-command output); the run report goes to stderr so it
+/// never perturbs diffable output. Exit code 2 means some points failed
+/// but the sweep itself survived.
+fn run_all(rest: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_all_opts(rest)?;
+    let injections = parse_injections()?;
+    let policy = SupervisePolicy {
+        deadline: opts.deadline,
+        max_retries: opts.max_retries,
+        ..SupervisePolicy::default()
+    };
+    let (journal, replay) = match &opts.run_dir {
+        Some(dir) if opts.resume => {
+            let (j, replay) =
+                RunJournal::resume(dir).map_err(|e| format!("--resume {}: {e}", dir.display()))?;
+            (Some(std::sync::Mutex::new(j)), replay)
+        }
+        Some(dir) => {
+            let j =
+                RunJournal::create(dir).map_err(|e| format!("--run-dir {}: {e}", dir.display()))?;
+            (Some(std::sync::Mutex::new(j)), Replay::default())
+        }
+        None => (None, Replay::default()),
+    };
+    if let Some(tail) = &replay.dropped_tail {
+        eprintln!("warning: discarded truncated journal record {tail:?}; its point will re-run");
+    }
+
+    // A journal that cannot persist must stop the run — `--resume` would
+    // otherwise silently re-execute points it believes are unrecorded.
+    let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let indexed: Vec<(usize, &str)> = EXPERIMENTS.iter().copied().enumerate().collect();
+    let outcomes = par_map(&indexed, |&(i, name)| {
+        if let Some(value) = replay.completed.get(name) {
+            return PointOutcome::Journaled {
+                value: value.clone(),
+            };
+        }
+        let injection = injections.get(name).copied();
+        let point = name.to_owned();
+        let outcome = supervise_point(name, i as u64, &policy, move |_seed| {
+            match injection {
+                Some(Injection::Panic) => panic!("injected failure (DABENCH_INJECT)"),
+                Some(Injection::SleepSecs(s)) => {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(s));
+                }
+                None => {}
+            }
+            render_experiment(&point)
+                .ok_or_else(|| PlatformError::Unsupported(format!("no renderer for `{point}`")))
+        });
+        if let Some(journal) = &journal {
+            let data = match &outcome {
+                PointOutcome::Completed { value, .. } => Some(value.clone()),
+                PointOutcome::Failed { error, .. } => Some(error.to_string()),
+                PointOutcome::Panicked { message } => Some(message.clone()),
+                PointOutcome::TimedOut { deadline } => {
+                    Some(format!("exceeded {:.1} s deadline", deadline.as_secs_f64()))
+                }
+                PointOutcome::Journaled { .. } => None,
+            };
+            if let Some(data) = data {
+                let appended =
+                    journal
+                        .lock()
+                        .expect("journal lock")
+                        .append(name, outcome.status(), &data);
+                if let Err(e) = appended {
+                    journal_error
+                        .lock()
+                        .expect("journal error lock")
+                        .get_or_insert_with(|| format!("journal append for `{name}`: {e}"));
+                }
+            }
+        }
+        outcome
+    });
+    if let Some(e) = journal_error.into_inner().expect("journal error lock") {
+        return Err(e);
+    }
+
+    let mut report = RunReport::default();
+    for (&(_, name), outcome) in indexed.iter().zip(&outcomes) {
+        report.record(name, outcome);
+        if let Some(text) = outcome.value() {
+            print!("{text}");
+        }
+    }
+    eprint!("{}", report.render());
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
 fn usage() -> &'static str {
     "usage: dabench <command> [options]\n\
      commands:\n\
        table1 table2 table3 table4       reproduce a paper table\n\
        fig6 fig7 fig8 fig9 fig10 fig11 fig12   reproduce a paper figure\n\
-       all                               every table and figure\n\
+       all                               every table and figure, supervised\n\
        ablations                         design-choice ablations\n\
        sensitivity                       hardware-parameter elasticities\n\
        csv <experiment>                  emit an experiment as CSV\n\
@@ -285,6 +480,11 @@ fn usage() -> &'static str {
      options: --hidden N --layers N --batch N --seq N\n\
               --precision fp16|bf16|cb16|fp32 --model <preset>\n\
               --jobs N   worker threads (default: all cores; also DABENCH_JOBS)\n\
+     all options: --run-dir D   journal each finished point to D (crash-safe)\n\
+     \x20            --resume D    replay D's journal, re-run only missing points\n\
+     \x20            --deadline-s S  wall-clock budget per point (watchdog)\n\
+     \x20            --max-retries N retry transient platform errors N times\n\
+     \x20            exit codes: 0 clean, 2 some points failed (see stderr report)\n\
      faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N\n\
      csv targets: table1-4 fig6-12 ablations sensitivity"
 }
@@ -319,20 +519,12 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result: Result<(), String> = match cmd.as_str() {
         "all" => {
-            // Render every artifact in parallel, print in paper order;
-            // a name with no renderer is a hard error, not a shrug.
-            let rendered = par_map(&EXPERIMENTS, |name| render_experiment(name));
-            let mut missing = Vec::new();
-            for (name, text) in EXPERIMENTS.iter().zip(&rendered) {
-                match text {
-                    Some(t) => print!("{t}"),
-                    None => missing.push(*name),
+            return match run_all(rest) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
                 }
-            }
-            if missing.is_empty() {
-                Ok(())
-            } else {
-                Err(format!("no renderer for: {}", missing.join(", ")))
             }
         }
         "check" => {

@@ -3,7 +3,7 @@
 
 use super::workloads::llama7b;
 use crate::render::Table;
-use dabench_core::par_map;
+use dabench_core::{par_map, with_point_label};
 use dabench_ipu::{pipeline_with_allocation, Ipu};
 use dabench_model::{ModelConfig, Precision, TrainingWorkload};
 use dabench_rdu::{tensor_parallel, CompilationMode, Rdu};
@@ -53,14 +53,16 @@ pub fn run_wse() -> Vec<WseReplicaRow> {
     let wse = Wse::default();
     let mini = TrainingWorkload::new(ModelConfig::gpt2_mini(), 256, 1024, Precision::Fp16);
     par_map(&[1u32, 2, 4, 8], |&replicas| {
-        let plan = data_parallel(wse.wse_spec(), wse.compiler_params(), &mini, replicas)
-            .expect("mini replicates");
-        WseReplicaRow {
-            replicas,
-            computation: plan.computation_tokens_per_s,
-            net: plan.net_tokens_per_s,
-            comm_fraction: plan.communication_fraction,
-        }
+        with_point_label(&format!("fig11 wse replicas={replicas}"), || {
+            let plan = data_parallel(wse.wse_spec(), wse.compiler_params(), &mini, replicas)
+                .expect("mini replicates");
+            WseReplicaRow {
+                replicas,
+                computation: plan.computation_tokens_per_s,
+                net: plan.net_tokens_per_s,
+                comm_fraction: plan.communication_fraction,
+            }
+        })
     })
 }
 
@@ -70,20 +72,22 @@ pub fn run_rdu() -> Vec<RduTpRow> {
     let rdu = Rdu::with_mode(CompilationMode::O1);
     let w = llama7b();
     par_map(&[2u32, 4, 8], |&degree| {
-        let plan = tensor_parallel(
-            rdu.rdu_spec(),
-            rdu.compiler_params(),
-            CompilationMode::O1,
-            &w,
-            degree,
-        )
-        .expect("tp plan");
-        RduTpRow {
-            degree,
-            pcu: plan.pcu_allocation,
-            pmu: plan.pmu_allocation,
-            cross_machine: plan.cross_machine,
-        }
+        with_point_label(&format!("fig11 rdu tp={degree}"), || {
+            let plan = tensor_parallel(
+                rdu.rdu_spec(),
+                rdu.compiler_params(),
+                CompilationMode::O1,
+                &w,
+                degree,
+            )
+            .expect("tp plan");
+            RduTpRow {
+                degree,
+                pcu: plan.pcu_allocation,
+                pmu: plan.pmu_allocation,
+                cross_machine: plan.cross_machine,
+            }
+        })
     })
 }
 
@@ -107,13 +111,15 @@ pub fn run_ipu() -> Vec<IpuAllocationRow> {
     let ipu = Ipu::default();
     let w = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 12), 64, 1024, Precision::Fp16);
     par_map(&IPU_ALLOCATIONS, |alloc| {
-        let plan = pipeline_with_allocation(ipu.ipu_spec(), ipu.compiler_params(), &w, alloc)
-            .expect("allocation fits");
-        IpuAllocationRow {
-            allocation: alloc.to_vec(),
-            max_layers: *alloc.iter().max().expect("non-empty"),
-            throughput: plan.throughput_tokens_per_s,
-        }
+        with_point_label(&format!("fig11 ipu alloc={alloc:?}"), || {
+            let plan = pipeline_with_allocation(ipu.ipu_spec(), ipu.compiler_params(), &w, alloc)
+                .expect("allocation fits");
+            IpuAllocationRow {
+                allocation: alloc.to_vec(),
+                max_layers: *alloc.iter().max().expect("non-empty"),
+                throughput: plan.throughput_tokens_per_s,
+            }
+        })
     })
 }
 

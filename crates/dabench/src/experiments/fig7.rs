@@ -3,7 +3,7 @@
 
 use super::workloads::{rdu_o1_probe, rdu_probe, RDU_HS_SWEEP, RDU_LAYER_SWEEP, RDU_O1_HS_SWEEP};
 use crate::render::Table;
-use dabench_core::{par_map, tier1_cached};
+use dabench_core::{par_map, tier1_cached, with_point_label};
 use dabench_model::TrainingWorkload;
 use dabench_rdu::{CompilationMode, Rdu};
 use serde::{Deserialize, Serialize};
@@ -22,14 +22,16 @@ pub struct Fig7Row {
 }
 
 fn point(mode: CompilationMode, x: u64, w: &TrainingWorkload) -> Fig7Row {
-    let rdu = Rdu::with_mode(mode);
-    let report = tier1_cached(&rdu, w).expect("probe profiles");
-    Fig7Row {
-        mode: mode.to_string(),
-        x,
-        pcu_allocation: report.allocation_of("pcu").expect("pcu tracked"),
-        pmu_allocation: report.allocation_of("pmu").expect("pmu tracked"),
-    }
+    with_point_label(&format!("fig7 {mode} x={x}"), || {
+        let rdu = Rdu::with_mode(mode);
+        let report = tier1_cached(&rdu, w).expect("probe profiles");
+        Fig7Row {
+            mode: mode.to_string(),
+            x,
+            pcu_allocation: report.allocation_of("pcu").expect("pcu tracked"),
+            pmu_allocation: report.allocation_of("pmu").expect("pmu tracked"),
+        }
+    })
 }
 
 /// Profile a list of `(mode, x, workload)` points in parallel, rows in

@@ -2,7 +2,7 @@
 
 use super::workloads::{rdu_o1_probe, rdu_probe, wse_probe, RDU_HS_SWEEP, RDU_LAYER_SWEEP};
 use crate::render::Table;
-use dabench_core::{par_map, tier1_cached};
+use dabench_core::{par_map, tier1_cached, with_point_label};
 use dabench_model::TrainingWorkload;
 use dabench_rdu::{CompilationMode, Rdu};
 use dabench_wse::Wse;
@@ -40,10 +40,12 @@ fn li_of(probe: &LiProbe) -> f64 {
 
 /// Profile `(series, x, probe)` points in parallel, rows in input order.
 fn rows_of(specs: &[(String, u64, LiProbe)]) -> Vec<Fig8Row> {
-    par_map(specs, |(series, x, probe)| Fig8Row {
-        series: series.clone(),
-        x: *x,
-        li: li_of(probe),
+    par_map(specs, |(series, x, probe)| {
+        with_point_label(&format!("fig8 {series} x={x}"), || Fig8Row {
+            series: series.clone(),
+            x: *x,
+            li: li_of(probe),
+        })
     })
 }
 

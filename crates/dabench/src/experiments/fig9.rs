@@ -6,7 +6,7 @@ use super::workloads::{
     RDU_O1_HS_SWEEP,
 };
 use crate::render::{num_or_fail, Table};
-use dabench_core::{par_map, tier1_cached};
+use dabench_core::{par_map, tier1_cached, with_point_label};
 use dabench_ipu::Ipu;
 use dabench_rdu::{CompilationMode, Rdu};
 use dabench_wse::{compile, execute, Wse};
@@ -56,17 +56,20 @@ pub struct IpuRow {
 pub fn run_wse() -> Vec<WseMemoryRow> {
     let wse = Wse::default();
     par_map(&[6u64, 12, 18, 24, 36, 48, 60, 72], |&layers| {
-        let w = wse_probe(layers);
-        let c = compile(wse.wse_spec(), wse.compiler_params(), &w, None).expect("range compiles");
-        let e = execute(wse.wse_spec(), wse.compiler_params(), &c, &w);
-        WseMemoryRow {
-            layers,
-            config_fraction: c.memory.config_fraction(),
-            training_fraction: c.memory.training_fraction(),
-            total_fraction: c.memory.total_fraction(),
-            compute_fraction: e.compute_time_fraction,
-            tflops: e.achieved_tflops,
-        }
+        with_point_label(&format!("fig9 wse L={layers}"), || {
+            let w = wse_probe(layers);
+            let c =
+                compile(wse.wse_spec(), wse.compiler_params(), &w, None).expect("range compiles");
+            let e = execute(wse.wse_spec(), wse.compiler_params(), &c, &w);
+            WseMemoryRow {
+                layers,
+                config_fraction: c.memory.config_fraction(),
+                training_fraction: c.memory.training_fraction(),
+                total_fraction: c.memory.total_fraction(),
+                compute_fraction: e.compute_time_fraction,
+                tflops: e.achieved_tflops,
+            }
+        })
     })
 }
 
@@ -91,12 +94,14 @@ fn rdu_points(
     specs: &[(CompilationMode, u64, dabench_model::TrainingWorkload)],
 ) -> Vec<RduTflopsRow> {
     par_map(specs, |(mode, x, w)| {
-        let r = tier1_cached(&Rdu::with_mode(*mode), w).expect("probe profiles");
-        RduTflopsRow {
-            mode: mode.to_string(),
-            x: *x,
-            tflops: r.achieved_tflops,
-        }
+        with_point_label(&format!("fig9 rdu-{mode} x={x}"), || {
+            let r = tier1_cached(&Rdu::with_mode(*mode), w).expect("probe profiles");
+            RduTflopsRow {
+                mode: mode.to_string(),
+                x: *x,
+                tflops: r.achieved_tflops,
+            }
+        })
     })
 }
 
@@ -125,18 +130,20 @@ pub fn run_rdu_hidden() -> Vec<RduTflopsRow> {
 pub fn run_ipu() -> Vec<IpuRow> {
     let ipu = Ipu::default();
     par_map(&IPU_LAYER_SWEEP, |&layers| {
-        match tier1_cached(&ipu, &ipu_probe(layers)) {
-            Ok(r) => IpuRow {
-                layers,
-                memory_utilization: r.memory_utilization_of("tile-sram"),
-                tflops: Some(r.achieved_tflops),
-            },
-            Err(_) => IpuRow {
-                layers,
-                memory_utilization: None,
-                tflops: None,
-            },
-        }
+        with_point_label(&format!("fig9 ipu L={layers}"), || {
+            match tier1_cached(&ipu, &ipu_probe(layers)) {
+                Ok(r) => IpuRow {
+                    layers,
+                    memory_utilization: r.memory_utilization_of("tile-sram"),
+                    tflops: Some(r.achieved_tflops),
+                },
+                Err(_) => IpuRow {
+                    layers,
+                    memory_utilization: None,
+                    tflops: None,
+                },
+            }
+        })
     })
 }
 

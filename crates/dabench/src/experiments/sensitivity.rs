@@ -9,7 +9,7 @@
 
 use super::workloads::{ipu_probe, rdu_probe, wse_probe};
 use crate::render::Table;
-use dabench_core::{par_map, Platform};
+use dabench_core::{par_map, with_point_label, Platform};
 use dabench_ipu::{Ipu, IpuCompilerParams, IpuSpec};
 use dabench_rdu::{CompilationMode, Rdu, RduCompilerParams, RduSpec};
 use dabench_wse::{Wse, WseCompilerParams, WseSpec};
@@ -167,8 +167,13 @@ fn ipu_rows() -> Vec<SensitivityRow> {
 /// platform group; rows stay in wse/rdu/ipu order).
 #[must_use]
 pub fn run() -> Vec<SensitivityRow> {
-    let groups: [fn() -> Vec<SensitivityRow>; 3] = [wse_rows, rdu_rows, ipu_rows];
-    par_map(&groups, |group| group()).concat()
+    type Group = fn() -> Vec<SensitivityRow>;
+    let groups: [(&str, Group); 3] = [
+        ("sensitivity wse", wse_rows),
+        ("sensitivity rdu", rdu_rows),
+        ("sensitivity ipu", ipu_rows),
+    ];
+    par_map(&groups, |(label, group)| with_point_label(label, group)).concat()
 }
 
 /// Render the elasticity table.

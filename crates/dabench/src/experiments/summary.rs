@@ -6,7 +6,7 @@
 //! each platform profiled at its own canonical configuration.
 
 use crate::render::{num_or_fail, Table};
-use dabench_core::{par_map, tier1_cached, Memoizable, Tier1Report};
+use dabench_core::{par_map, tier1_cached, with_point_label, Memoizable, Tier1Report};
 use dabench_ipu::Ipu;
 use dabench_model::TrainingWorkload;
 use dabench_rdu::{CompilationMode, Rdu};
@@ -33,12 +33,16 @@ pub fn run(workload: &TrainingWorkload) -> Vec<SummaryRow> {
         }
     }
     type Probe = fn(&TrainingWorkload) -> SummaryRow;
-    let probes: [Probe; 3] = [
-        |w| row_of(&Wse::default(), w),
-        |w| row_of(&Rdu::with_mode(CompilationMode::O3), w),
-        |w| row_of(&Ipu::default(), w),
+    let probes: [(&str, Probe); 3] = [
+        ("summary wse", |w| row_of(&Wse::default(), w)),
+        ("summary rdu-o3", |w| {
+            row_of(&Rdu::with_mode(CompilationMode::O3), w)
+        }),
+        ("summary ipu", |w| row_of(&Ipu::default(), w)),
     ];
-    par_map(&probes, |probe| probe(workload))
+    par_map(&probes, |(label, probe)| {
+        with_point_label(label, || probe(workload))
+    })
 }
 
 /// Render the summary.

@@ -1,0 +1,230 @@
+//! Integration tests of the supervised `dabench all` run: panic isolation,
+//! deadlines, and crash-safe resume (see docs/supervision.md).
+//!
+//! Failure injection uses the `DABENCH_INJECT` test hook
+//! (`<experiment>=panic` / `<experiment>=sleep:SECS`), so no bug has to be
+//! planted in an experiment to observe the supervisor working.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+struct Run {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+/// Run `dabench` with `DABENCH_INJECT` scrubbed (or set to `inject`).
+fn run(args: &[&str], inject: Option<&str>) -> Run {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_dabench"));
+    cmd.args(args).env_remove("DABENCH_INJECT");
+    if let Some(inject) = inject {
+        cmd.env("DABENCH_INJECT", inject);
+    }
+    let out = cmd.output().expect("binary runs");
+    Run {
+        code: out.status.code(),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dabench-cli-supervise-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn injected_panic_does_not_abort_the_sweep() {
+    let r = run(&["all"], Some("fig9=panic"));
+    // Partial failure: exit code 2, not a crash and not success.
+    assert_eq!(r.code, Some(2), "{}", r.stderr);
+    // The other artifacts still rendered.
+    assert!(r.stdout.contains("Table I"), "table1 missing");
+    assert!(r.stdout.contains("Fig. 12"), "fig12 missing");
+    assert!(
+        !r.stdout.contains("Fig. 9"),
+        "panicked point printed output"
+    );
+    // The report names the point and the panic.
+    assert!(r.stderr.contains("1 panicked"), "{}", r.stderr);
+    assert!(r.stderr.contains("[ panicked] fig9"), "{}", r.stderr);
+    assert!(r.stderr.contains("injected failure"), "{}", r.stderr);
+}
+
+#[test]
+fn deadline_overrun_is_reported_and_abandoned() {
+    let started = std::time::Instant::now();
+    let r = run(&["all", "--deadline-s", "0.5"], Some("fig11=sleep:30"));
+    // The watchdog abandoned the sleeping point: the whole run finishes
+    // far sooner than the 30 s sleep.
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(20),
+        "run did not abandon the sleeping point"
+    );
+    assert_eq!(r.code, Some(2), "{}", r.stderr);
+    assert!(r.stderr.contains("1 timed out"), "{}", r.stderr);
+    assert!(
+        r.stderr
+            .contains("[timed-out] fig11: exceeded 0.5 s deadline"),
+        "{}",
+        r.stderr
+    );
+    assert!(
+        !r.stdout.contains("Fig. 11"),
+        "timed-out point printed output"
+    );
+}
+
+#[test]
+fn resume_after_partial_run_is_byte_identical() {
+    let clean = run(&["all"], None);
+    assert_eq!(clean.code, Some(0), "{}", clean.stderr);
+
+    for jobs in ["1", "4"] {
+        let dir = temp_dir(&format!("resume-j{jobs}"));
+        let dir_s = dir.to_str().expect("utf-8 temp path");
+
+        // Partial run: fig9 panics, everything else lands in the journal.
+        let partial = run(
+            &["all", "--run-dir", dir_s, "--jobs", jobs],
+            Some("fig9=panic"),
+        );
+        assert_eq!(partial.code, Some(2), "{}", partial.stderr);
+
+        // Resume without the injection: only fig9 re-runs, and stdout is
+        // byte-identical to an uninterrupted clean run.
+        let resumed = run(&["all", "--resume", dir_s, "--jobs", jobs], None);
+        assert_eq!(resumed.code, Some(0), "{}", resumed.stderr);
+        assert_eq!(
+            resumed.stdout, clean.stdout,
+            "resumed stdout differs at --jobs {jobs}"
+        );
+        assert!(
+            resumed.stderr.contains("10 from journal"),
+            "{}",
+            resumed.stderr
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn truncated_trailing_journal_line_is_reported_and_healed() {
+    let dir = temp_dir("truncated");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let clean = run(&["all"], None);
+
+    let partial = run(&["all", "--run-dir", dir_s], Some("fig9=panic"));
+    assert_eq!(partial.code, Some(2), "{}", partial.stderr);
+
+    // Chop bytes off the final record, as a SIGKILL mid-append would.
+    let journal = dir.join("journal.jsonl");
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&journal)
+        .expect("journal exists");
+    let mut contents = String::new();
+    file.read_to_string(&mut contents).expect("read journal");
+    file.set_len(contents.len() as u64 - 9).expect("truncate");
+
+    let resumed = run(&["all", "--resume", dir_s], None);
+    assert_eq!(resumed.code, Some(0), "{}", resumed.stderr);
+    assert!(
+        resumed
+            .stderr
+            .contains("discarded truncated journal record"),
+        "{}",
+        resumed.stderr
+    );
+    assert_eq!(
+        resumed.stdout, clean.stdout,
+        "healed resume must still match"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_file_corruption_is_a_hard_error() {
+    let dir = temp_dir("corrupt");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let first = run(&["all", "--run-dir", dir_s], None);
+    assert_eq!(first.code, Some(0), "{}", first.stderr);
+
+    // Flip bytes in the middle of the journal: real corruption, not the
+    // benign truncated-tail case.
+    let journal = dir.join("journal.jsonl");
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&journal)
+        .expect("journal exists");
+    // Stray quotes break the record's string structure outright.
+    file.seek(SeekFrom::Start(80)).expect("seek");
+    file.write_all(b"\"##\"").expect("corrupt");
+    drop(file);
+
+    let resumed = run(&["all", "--resume", dir_s], None);
+    assert_eq!(resumed.code, Some(1), "{}", resumed.stderr);
+    assert!(
+        resumed.stderr.contains("corrupt journal line"),
+        "{}",
+        resumed.stderr
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_dir_refuses_to_clobber_an_existing_journal() {
+    let dir = temp_dir("clobber");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let first = run(&["all", "--run-dir", dir_s], None);
+    assert_eq!(first.code, Some(0), "{}", first.stderr);
+
+    let second = run(&["all", "--run-dir", dir_s], None);
+    assert_eq!(second.code, Some(1), "{}", second.stderr);
+    assert!(second.stderr.contains("--resume"), "{}", second.stderr);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_all_matches_per_command_output() {
+    // The supervision layer must not perturb stdout: `all` is still the
+    // concatenation of each experiment's own output, in paper order.
+    let all = run(&["all"], None);
+    assert_eq!(all.code, Some(0), "{}", all.stderr);
+    let table1 = run(&["table1"], None);
+    assert!(all.stdout.starts_with(&table1.stdout), "table1 must lead");
+    assert!(
+        all.stderr.contains("11 points — 11 completed"),
+        "{}",
+        all.stderr
+    );
+}
+
+#[test]
+fn bad_supervision_flags_are_reported() {
+    for (args, needle) in [
+        (vec!["all", "--deadline-s", "abc"], "--deadline-s"),
+        (vec!["all", "--deadline-s", "-1"], "--deadline-s"),
+        (vec!["all", "--max-retries", "x"], "--max-retries"),
+        (vec!["all", "--frobnicate"], "unknown flag"),
+        (vec!["all", "--run-dir"], "needs a value"),
+    ] {
+        let r = run(&args, None);
+        assert_eq!(r.code, Some(1), "{args:?}");
+        assert!(r.stderr.contains(needle), "{args:?}: {}", r.stderr);
+    }
+    let r = run(&["all"], Some("fig9=explode"));
+    assert_eq!(r.code, Some(1), "{}", r.stderr);
+    assert!(r.stderr.contains("DABENCH_INJECT"), "{}", r.stderr);
+}

@@ -16,5 +16,5 @@ pub mod sweep;
 pub use plan::{FaultPlan, PlannedFault, PlatformKind};
 pub use report::{render_report, ResilienceReport, SweepPoint};
 pub use rng::SplitMix64;
-pub use spec::PlanSpec;
+pub use spec::{PlanSpec, PlanSpecError};
 pub use sweep::{resilience_sweep, FAULT_FRACTIONS};

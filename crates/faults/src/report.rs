@@ -58,9 +58,11 @@ impl ResilienceReport {
             .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.min(r))))
     }
 
-    /// Mean time-to-recover over the successful faulted points, seconds.
+    /// Mean time-to-recover over the successful faulted points, seconds;
+    /// `None` when no faulted point recovered (distinct from an actual
+    /// instant recovery of `Some(0.0)`, which a healthy remap can report).
     #[must_use]
-    pub fn mean_time_to_recover_s(&self) -> f64 {
+    pub fn mean_time_to_recover_s(&self) -> Option<f64> {
         let faulted: Vec<f64> = self
             .points
             .iter()
@@ -68,9 +70,9 @@ impl ResilienceReport {
             .filter_map(|p| p.recover_s)
             .collect();
         if faulted.is_empty() {
-            0.0
+            None
         } else {
-            faulted.iter().sum::<f64>() / faulted.len() as f64
+            Some(faulted.iter().sum::<f64>() / faulted.len() as f64)
         }
     }
 }
@@ -122,8 +124,10 @@ pub fn render_report(report: &ResilienceReport) -> String {
         out.push_str(&format!("   worst retention: {w:.3}"));
     }
     out.push_str(&format!(
-        "   mean time-to-recover: {:.1} s\n",
-        report.mean_time_to_recover_s()
+        "   mean time-to-recover: {}\n",
+        report
+            .mean_time_to_recover_s()
+            .map_or_else(|| "-".to_owned(), |m| format!("{m:.1} s"))
     ));
     out
 }
@@ -177,7 +181,27 @@ mod tests {
     #[test]
     fn mean_recover_skips_healthy_points() {
         // Only the 5% point is faulted AND remapped.
-        assert!((report().mean_time_to_recover_s() - 40.0).abs() < 1e-12);
+        assert!((report().mean_time_to_recover_s().unwrap() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_recover_is_none_when_nothing_recovered() {
+        // Healthy point + failed remap: no faulted point recovered, which
+        // must be distinguishable from instant recovery.
+        let r = ResilienceReport {
+            platform: "cerebras-wse2".to_owned(),
+            seed: 42,
+            points: vec![
+                point(0.0, Some(1.0), None),
+                point(0.5, None, Some("device fault".to_owned())),
+            ],
+        };
+        assert_eq!(r.mean_time_to_recover_s(), None);
+        assert!(
+            render_report(&r).contains("mean time-to-recover: -"),
+            "{}",
+            render_report(&r)
+        );
     }
 
     #[test]
@@ -210,6 +234,6 @@ mod tests {
         // A failed point must not drag the mean toward zero even if it
         // carries a (bogus) recover value through some other path.
         r.points[2].recover_s = None;
-        assert!((r.mean_time_to_recover_s() - 40.0).abs() < 1e-12);
+        assert!((r.mean_time_to_recover_s().unwrap() - 40.0).abs() < 1e-12);
     }
 }

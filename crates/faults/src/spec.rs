@@ -4,8 +4,48 @@
 //! counts); the seeded generator in [`crate::plan`] turns it into concrete
 //! fault coordinates. The textual form is a comma-separated key=value
 //! list, e.g. `dead=0.05,link=0.9,stalls=2,drop=1`.
+//!
+//! Every construction path — the builder methods and the [`FromStr`]
+//! parser — funnels through [`PlanSpec::validate`], so a spec holding a
+//! NaN or out-of-range fraction cannot be smuggled into a sweep.
 
+use std::error::Error;
+use std::fmt;
 use std::str::FromStr;
+
+/// Why a [`PlanSpec`] is invalid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanSpecError {
+    /// A fractional field is NaN or infinite.
+    NotFinite {
+        /// Field name (`dead` or `link`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A fractional field is outside `0..=1`.
+    OutOfRange {
+        /// Field name (`dead` or `link`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlanSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanSpecError::NotFinite { field, value } => {
+                write!(f, "{field}: {value} is not a finite number")
+            }
+            PlanSpecError::OutOfRange { field, value } => {
+                write!(f, "{field}: {value} outside 0..=1")
+            }
+        }
+    }
+}
+
+impl Error for PlanSpecError {}
 
 /// Fault intensities for one experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,12 +63,50 @@ pub struct PlanSpec {
 }
 
 impl PlanSpec {
-    /// Copy of the spec with a different dead-fabric fraction (used by
-    /// sweeps).
-    #[must_use]
-    pub fn with_dead_fraction(mut self, fraction: f64) -> Self {
+    /// Check every invariant: fractional fields must be finite and in
+    /// `0..=1` (counts are unsigned and always valid).
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant, as a structured [`PlanSpecError`].
+    pub fn validate(&self) -> Result<(), PlanSpecError> {
+        for (field, value) in [("dead", self.dead_fraction), ("link", self.link_retained)] {
+            if !value.is_finite() {
+                return Err(PlanSpecError::NotFinite { field, value });
+            }
+            if !(0.0..=1.0).contains(&value) {
+                return Err(PlanSpecError::OutOfRange { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy of the spec with a different dead-fabric fraction, rejecting
+    /// NaN and out-of-range values.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanSpecError`] when `fraction` is not a finite value in `0..=1`.
+    pub fn try_with_dead_fraction(mut self, fraction: f64) -> Result<Self, PlanSpecError> {
         self.dead_fraction = fraction;
-        self
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Copy of the spec with a different dead-fabric fraction (used by
+    /// sweeps, whose fractions are trusted constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is NaN or outside `0..=1` — an invalid
+    /// fraction silently accepted here would skew a whole sweep; use
+    /// [`PlanSpec::try_with_dead_fraction`] for untrusted input.
+    #[must_use]
+    pub fn with_dead_fraction(self, fraction: f64) -> Self {
+        match self.try_with_dead_fraction(fraction) {
+            Ok(spec) => spec,
+            Err(e) => panic!("with_dead_fraction: {e}"),
+        }
     }
 
     /// Whether the spec injects no faults at all.
@@ -54,16 +132,6 @@ impl Default for PlanSpec {
     }
 }
 
-fn parse_fraction(key: &str, value: &str) -> Result<f64, String> {
-    let x: f64 = value
-        .parse()
-        .map_err(|e| format!("{key}: not a number ({e})"))?;
-    if !(0.0..=1.0).contains(&x) {
-        return Err(format!("{key}: {x} outside 0..=1"));
-    }
-    Ok(x)
-}
-
 impl FromStr for PlanSpec {
     type Err = String;
 
@@ -74,9 +142,14 @@ impl FromStr for PlanSpec {
                 .split_once('=')
                 .ok_or_else(|| format!("`{clause}`: expected key=value"))?;
             let (key, value) = (key.trim(), value.trim());
+            let number = |key: &str| -> Result<f64, String> {
+                value
+                    .parse()
+                    .map_err(|e| format!("{key}: not a number ({e})"))
+            };
             match key {
-                "dead" => spec.dead_fraction = parse_fraction(key, value)?,
-                "link" => spec.link_retained = parse_fraction(key, value)?,
+                "dead" => spec.dead_fraction = number(key)?,
+                "link" => spec.link_retained = number(key)?,
                 "stalls" => {
                     spec.transient_stalls = value.parse().map_err(|e| format!("stalls: {e}"))?;
                 }
@@ -90,6 +163,7 @@ impl FromStr for PlanSpec {
                 }
             }
         }
+        spec.validate().map_err(|e| e.to_string())?;
         Ok(spec)
     }
 }
@@ -104,6 +178,7 @@ mod tests {
         assert!((s.dead_fraction - 0.05).abs() < 1e-12);
         assert_eq!(s.link_retained, 1.0);
         assert!(!s.is_healthy());
+        assert_eq!(s.validate(), Ok(()));
     }
 
     #[test]
@@ -126,6 +201,63 @@ mod tests {
         assert!("dead".parse::<PlanSpec>().is_err());
         assert!("banana=1".parse::<PlanSpec>().is_err());
         assert!("stalls=-1".parse::<PlanSpec>().is_err());
+    }
+
+    #[test]
+    fn parser_rejects_nan_and_infinity() {
+        // "NaN" and "inf" parse as f64, so the range check alone is not
+        // enough — validate() must catch them with a structured error.
+        for bad in ["dead=NaN", "dead=inf", "link=-inf", "link=NaN"] {
+            let err = bad.parse::<PlanSpec>().unwrap_err();
+            assert!(
+                err.contains("not a finite number") || err.contains("outside"),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_and_parser_share_validation() {
+        let nan = PlanSpec::default().try_with_dead_fraction(f64::NAN);
+        assert!(matches!(
+            nan,
+            Err(PlanSpecError::NotFinite { field: "dead", .. })
+        ));
+        let out = PlanSpec::default().try_with_dead_fraction(1.5);
+        assert_eq!(
+            out,
+            Err(PlanSpecError::OutOfRange {
+                field: "dead",
+                value: 1.5
+            })
+        );
+        assert!(PlanSpec::default().try_with_dead_fraction(0.2).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "with_dead_fraction")]
+    fn panicking_builder_rejects_nan() {
+        let _ = PlanSpec::default().with_dead_fraction(f64::NAN);
+    }
+
+    #[test]
+    fn validate_reports_link_field_too() {
+        let s = PlanSpec {
+            link_retained: f64::INFINITY,
+            ..PlanSpec::default()
+        };
+        assert!(matches!(
+            s.validate(),
+            Err(PlanSpecError::NotFinite { field: "link", .. })
+        ));
+        let s = PlanSpec {
+            link_retained: -0.1,
+            ..PlanSpec::default()
+        };
+        assert!(matches!(
+            s.validate(),
+            Err(PlanSpecError::OutOfRange { field: "link", .. })
+        ));
     }
 
     #[test]
