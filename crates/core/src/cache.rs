@@ -63,6 +63,10 @@ fn store() -> &'static Store {
 /// same key both compute the (identical, pure) result and the second
 /// insert is a no-op in effect.
 ///
+/// When the [`crate::obs`] recorder is enabled the cache is bypassed
+/// entirely: memoization would make span/counter attribution depend on
+/// which racing point happened to miss first (see `docs/observability.md`).
+///
 /// [`par_map`]: crate::parallel::par_map
 ///
 /// # Errors
@@ -74,6 +78,13 @@ pub fn tier1_cached<P: Memoizable>(
     platform: &P,
     workload: &TrainingWorkload,
 ) -> Result<Tier1Report, PlatformError> {
+    // With the recorder on, *which* point performs the cold profile (and
+    // therefore records its span events) would depend on thread
+    // scheduling, making traces differ across `--jobs`. Bypass the cache
+    // so every point records its own complete profile deterministically.
+    if crate::obs::is_enabled() {
+        return tier1::run(platform, workload);
+    }
     let key = (platform.cache_token(), format!("{workload:?}"));
     if let Some(cached) = store().lock().expect("cache lock").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);

@@ -16,6 +16,10 @@
 //!   isolation, wall-clock deadlines, deterministic retries, and a
 //!   crash-safe run journal enabling `--resume` (see
 //!   `docs/supervision.md`).
+//! - **Observability** ([`obs`]): phase-scoped spans and counters with
+//!   logical timestamps, deterministic under [`par_map`], exported as
+//!   Chrome `trace_event` JSON and per-phase counter tables (see
+//!   `docs/observability.md`).
 //!
 //! Chips plug in by implementing the [`Platform`] trait (and optionally
 //! [`Scalable`]); the framework then derives every metric from the
@@ -42,6 +46,7 @@ pub mod cache;
 mod error;
 pub mod faults;
 pub mod metrics;
+pub mod obs;
 pub mod parallel;
 mod platform;
 mod report;
@@ -53,6 +58,7 @@ pub mod tier2;
 pub use cache::{cache_stats, tier1_cached, CacheStats, Memoizable};
 pub use error::PlatformError;
 pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultKind, FaultSet, RecoveryCost};
+pub use obs::{Phase, PointTrace, Recorder};
 pub use parallel::{jobs, par_map, par_map_with, set_jobs};
 pub use platform::{
     ChipProfile, ComputeUnitSpec, HardwareSpec, MemoryLevelSpec, MemoryLevelUsage, MemoryScope,

@@ -90,12 +90,17 @@ where
 {
     let n = items.len();
     let workers = workers.max(1).min(n);
+    // Observability: each item records into its own child context, tagged
+    // with its *input* index, on sequential and parallel paths alike — so
+    // the merged trace is a function of the input order, not scheduling.
+    let obs_fork = crate::obs::fork();
+    let call = |i: usize, item: &T| obs_fork.enter(i as u64, || f(item));
     if workers <= 1 {
         return items
             .iter()
             .enumerate()
             .map(
-                |(i, item)| match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                |(i, item)| match catch_unwind(AssertUnwindSafe(|| call(i, item))) {
                     Ok(u) => u,
                     Err(p) => panic!("par_map: point {i} panicked: {}", panic_message(p.as_ref())),
                 },
@@ -118,7 +123,7 @@ where
                         if i >= n {
                             break;
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                        match catch_unwind(AssertUnwindSafe(|| call(i, &items[i]))) {
                             Ok(u) => local.push((i, u)),
                             Err(p) => {
                                 let message = panic_message(p.as_ref());

@@ -259,7 +259,7 @@ pub const JOURNAL_SCHEMA: &str = "dabench-journal-v1";
 /// Journal file name inside a run directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -355,6 +355,9 @@ fn parse_journal_line(line: &str) -> Option<BTreeMap<String, String>> {
 pub struct Replay {
     /// Completed points: label → journaled result, replayed verbatim.
     pub completed: BTreeMap<String, String>,
+    /// Observability digests: label → digest block journaled alongside
+    /// the point's `completed` record (see `obs::PointTrace::digest`).
+    pub metrics: BTreeMap<String, String>,
     /// Labels journaled with a non-completed status (they will re-run).
     pub unfinished: Vec<String>,
     /// A truncated or corrupt *trailing* line that was discarded (the
@@ -470,6 +473,9 @@ impl RunJournal {
                         match (fields.get("status").map(String::as_str), fields.get("data")) {
                             (Some("completed"), Some(data)) => {
                                 replay.completed.insert(label, data.clone());
+                            }
+                            (Some("metrics"), Some(data)) => {
+                                replay.metrics.insert(label, data.clone());
                             }
                             _ => replay.unfinished.push(label),
                         }
@@ -810,6 +816,33 @@ mod tests {
         );
         assert_eq!(replay.unfinished, vec!["fig9".to_owned()]);
         assert_eq!(replay.dropped_tail, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_records_replay_separately_and_do_not_rerun_points() {
+        let dir = temp_dir("metrics");
+        let mut journal = RunJournal::create(&dir).unwrap();
+        journal.append("table1", "completed", "Table I").unwrap();
+        journal
+            .append("table1", "metrics", "dabench-obs-v1|0|table1|")
+            .unwrap();
+        drop(journal);
+
+        let (_journal, replay) = RunJournal::resume(&dir).unwrap();
+        assert_eq!(
+            replay.completed.get("table1").map(String::as_str),
+            Some("Table I")
+        );
+        assert_eq!(
+            replay.metrics.get("table1").map(String::as_str),
+            Some("dabench-obs-v1|0|table1|")
+        );
+        assert!(
+            replay.unfinished.is_empty(),
+            "a metrics record must not mark its point unfinished: {:?}",
+            replay.unfinished
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

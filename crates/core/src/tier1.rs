@@ -92,6 +92,19 @@ pub fn run(
     let spec = platform.spec();
     let profile = platform.profile(workload)?;
 
+    crate::obs::span(crate::obs::Phase::Collect, "tier1.collect", || {
+        collect(platform, workload, &spec, profile)
+    })
+}
+
+/// Metric derivation stage of [`run`], split out so the observability
+/// layer can attribute it to the `collect` phase.
+fn collect(
+    platform: &dyn Platform,
+    workload: &TrainingWorkload,
+    spec: &crate::platform::HardwareSpec,
+    profile: ChipProfile,
+) -> Result<Tier1Report, PlatformError> {
     let allocation = allocation_ratios(&profile);
     let li = profile_load_imbalance(&profile);
     let eff =
@@ -105,6 +118,9 @@ pub fn run(
         }
         _ => (None, None),
     };
+
+    crate::obs::counter("tier1.reports", 1.0);
+    crate::obs::counter("tier1.achieved_tflops", profile.achieved_tflops);
 
     Ok(Tier1Report {
         platform: platform.name().to_owned(),

@@ -12,6 +12,7 @@
 //! opts: --hidden N  --layers N  --batch N  --seq N
 //!       --precision fp16|bf16|cb16|fp32  --model gpt2-small|gpt2-xl|llama2-7b
 //!       --jobs N   (worker threads; DABENCH_JOBS env var also honored)
+//!       --trace-out FILE  (Chrome trace_event JSON)  --metrics (stderr table)
 //! all opts: --run-dir D  --resume D  --deadline-s S  --max-retries N
 //! ```
 //!
@@ -26,9 +27,10 @@
 //! code 2 flags a run that completed with failed/panicked/timed-out
 //! points.
 
+use dabench::core::obs;
 use dabench::core::supervise::{PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy};
 use dabench::core::{
-    par_map, set_jobs, supervise_point, tier1, Degradable, Platform, PlatformError,
+    par_map, set_jobs, supervise_point, tier1, Degradable, Platform, PlatformError, PointTrace,
 };
 use dabench::experiments::{
     ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, summary, table1, table2,
@@ -396,6 +398,23 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
         eprintln!("warning: discarded truncated journal record {tail:?}; its point will re-run");
     }
 
+    // Re-seed the recorder from journaled digests so a resumed run's
+    // `--trace-out`/`--metrics` output is byte-identical to the original
+    // run's. Only points whose output also replays count — a digest for a
+    // point that will re-run would otherwise appear twice.
+    if obs::is_enabled() {
+        for (name, digest) in &replay.metrics {
+            if replay.completed.contains_key(name) {
+                obs::inject(
+                    digest
+                        .lines()
+                        .filter_map(PointTrace::parse_digest)
+                        .collect(),
+                );
+            }
+        }
+    }
+
     // A journal that cannot persist must stop the run — `--resume` would
     // otherwise silently re-execute points it believes are unrecorded.
     let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
@@ -409,6 +428,10 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
         let injection = injections.get(name).copied();
         let point = name.to_owned();
         let outcome = supervise_point(name, i as u64, &policy, move |_seed| {
+            // Retry hygiene: a previous failed attempt of this point may
+            // have flushed partial traces; they must not leak into the
+            // output of the attempt that eventually succeeds.
+            let _ = obs::drain_prefix(&[i as u64]);
             match injection {
                 Some(Injection::Panic) => panic!("injected failure (DABENCH_INJECT)"),
                 Some(Injection::SleepSecs(s)) => {
@@ -416,7 +439,7 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
                 }
                 None => {}
             }
-            render_experiment(&point)
+            obs::with_point(i as u64, &point, || render_experiment(&point))
                 .ok_or_else(|| PlatformError::Unsupported(format!("no renderer for `{point}`")))
         });
         if let Some(journal) = &journal {
@@ -441,6 +464,34 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
                         .expect("journal error lock")
                         .get_or_insert_with(|| format!("journal append for `{name}`: {e}"));
                 }
+            }
+        }
+        // Harvest this point's traces. Completed points journal their
+        // digest (so `--resume` replays the same metrics) and go back into
+        // the sink; failed points are dropped so the trace only ever
+        // reflects what printed. Journaled points keep their replayed
+        // traces untouched.
+        if obs::is_enabled() && !matches!(outcome, PointOutcome::Journaled { .. }) {
+            let traces = obs::drain_prefix(&[i as u64]);
+            if matches!(outcome, PointOutcome::Completed { .. }) && !traces.is_empty() {
+                if let Some(journal) = &journal {
+                    let digest = traces
+                        .iter()
+                        .map(PointTrace::digest)
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    let appended = journal
+                        .lock()
+                        .expect("journal lock")
+                        .append(name, "metrics", &digest);
+                    if let Err(e) = appended {
+                        journal_error
+                            .lock()
+                            .expect("journal error lock")
+                            .get_or_insert_with(|| format!("journal append for `{name}`: {e}"));
+                    }
+                }
+                obs::inject(traces);
             }
         }
         outcome
@@ -480,6 +531,8 @@ fn usage() -> &'static str {
      options: --hidden N --layers N --batch N --seq N\n\
               --precision fp16|bf16|cb16|fp32 --model <preset>\n\
               --jobs N   worker threads (default: all cores; also DABENCH_JOBS)\n\
+              --trace-out FILE  write a Chrome trace_event JSON trace\n\
+              --metrics         per-phase span/counter table on stderr\n\
      all options: --run-dir D   journal each finished point to D (crash-safe)\n\
      \x20            --resume D    replay D's journal, re-run only missing points\n\
      \x20            --deadline-s S  wall-clock budget per point (watchdog)\n\
@@ -487,6 +540,60 @@ fn usage() -> &'static str {
      \x20            exit codes: 0 clean, 2 some points failed (see stderr report)\n\
      faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N\n\
      csv targets: table1-4 fig6-12 ablations sensitivity"
+}
+
+/// Observability flags, accepted by every command: `--trace-out FILE`
+/// writes a Chrome `trace_event` JSON trace, `--metrics` prints a
+/// per-phase counter table to stderr. Either flag enables the recorder.
+#[derive(Debug, Default)]
+struct TraceOpts {
+    trace_out: Option<std::path::PathBuf>,
+    metrics: bool,
+}
+
+impl TraceOpts {
+    fn enabled(&self) -> bool {
+        self.trace_out.is_some() || self.metrics
+    }
+}
+
+/// Strip `--trace-out FILE` / `--metrics` from `args` (they are valid on
+/// any command) and enable the recorder if either was present.
+fn extract_trace_flags(args: &mut Vec<String>) -> Result<TraceOpts, String> {
+    let mut opts = TraceOpts::default();
+    while let Some(pos) = args.iter().position(|a| a == "--trace-out") {
+        if pos + 1 >= args.len() {
+            return Err("--trace-out needs a value".to_owned());
+        }
+        opts.trace_out = Some(args[pos + 1].clone().into());
+        args.drain(pos..=pos + 1);
+    }
+    while let Some(pos) = args.iter().position(|a| a == "--metrics") {
+        opts.metrics = true;
+        args.remove(pos);
+    }
+    if opts.enabled() {
+        obs::enable();
+    }
+    Ok(opts)
+}
+
+/// Flush the recorder: write the Chrome trace (if `--trace-out`) and
+/// print the `--metrics` table to stderr. Called once, after the command
+/// body has finished and every point context has closed.
+fn write_observability(opts: &TraceOpts) -> Result<(), String> {
+    if !opts.enabled() {
+        return Ok(());
+    }
+    let traces = obs::take();
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, obs::chrome_trace(&traces))
+            .map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+    }
+    if opts.metrics {
+        eprint!("{}", obs::render_metrics(&traces));
+    }
+    Ok(())
 }
 
 /// Strip every `--jobs N` from `args` and apply the last one as the
@@ -512,21 +619,47 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    let trace = match extract_trace_flags(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let Some(cmd) = args.first() else {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
-    let result: Result<(), String> = match cmd.as_str() {
-        "all" => {
-            return match run_all(rest) {
-                Ok(code) => code,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
+    let code = if cmd == "all" {
+        // `all` opens one point context per experiment itself.
+        match run_all(rest) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
             }
         }
+    } else {
+        let result = obs::with_point(0, cmd, || run_command(cmd, rest));
+        match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    };
+    if let Err(e) = write_observability(&trace) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    code
+}
+
+/// Dispatch every command except `all` (which supervises its own points).
+fn run_command(cmd: &str, rest: &[String]) -> Result<(), String> {
+    match cmd {
         "check" => {
             let checks = validation::run();
             println!("{}", validation::render(&checks));
@@ -582,12 +715,5 @@ fn main() -> ExitCode {
             }
             None => Err(format!("unknown command `{other}`\n{}", usage())),
         },
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
     }
 }

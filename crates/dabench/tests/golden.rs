@@ -1,0 +1,118 @@
+//! Golden snapshot tests: exact-byte pins of user-facing renderings.
+//!
+//! Each test runs the real `dabench` binary and diffs its output against a
+//! checked-in snapshot under `tests/golden/`. Any change to a rendering —
+//! down to a single character — fails the suite, so formatting and numeric
+//! regressions cannot slip through a review unnoticed.
+//!
+//! To accept an intentional change, regenerate the snapshots:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p dabench --test golden
+//! ```
+//!
+//! then review the diff like any other code change (see tests/README.md).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+struct Run {
+    code: Option<i32>,
+    stdout: String,
+    stderr: String,
+}
+
+fn run(args: &[&str]) -> Run {
+    let out = Command::new(env!("CARGO_BIN_EXE_dabench"))
+        .args(args)
+        .env_remove("DABENCH_INJECT")
+        .output()
+        .expect("binary runs");
+    Run {
+        code: out.status.code(),
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        stderr: String::from_utf8_lossy(&out.stderr).into_owned(),
+    }
+}
+
+/// Diff `actual` against `tests/golden/<name>`, or rewrite the snapshot
+/// when `UPDATE_GOLDEN` is set. Failure messages point at the first
+/// differing line so a one-character drift is easy to locate.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             regenerate with: UPDATE_GOLDEN=1 cargo test -p dabench --test golden",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let mismatch = expected
+        .lines()
+        .zip(actual.lines())
+        .position(|(e, a)| e != a)
+        .map(|i| {
+            format!(
+                "first difference at line {}:\n  golden: {:?}\n  actual: {:?}",
+                i + 1,
+                expected.lines().nth(i).unwrap_or(""),
+                actual.lines().nth(i).unwrap_or(""),
+            )
+        })
+        .unwrap_or_else(|| {
+            format!(
+                "line counts differ: golden {} vs actual {}",
+                expected.lines().count(),
+                actual.lines().count()
+            )
+        });
+    panic!(
+        "output differs from golden snapshot {name}\n{mismatch}\n\
+         if the change is intentional: UPDATE_GOLDEN=1 cargo test -p dabench --test golden"
+    );
+}
+
+#[test]
+fn check_scorecard_matches_golden() {
+    let r = run(&["check"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("check.stdout.golden", &r.stdout);
+}
+
+#[test]
+fn table1_rendering_matches_golden() {
+    let r = run(&["table1"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("table1.stdout.golden", &r.stdout);
+}
+
+#[test]
+fn table3_rendering_matches_golden() {
+    let r = run(&["table3"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("table3.stdout.golden", &r.stdout);
+}
+
+#[test]
+fn check_metrics_table_matches_golden() {
+    // Pins the observability layer end to end: phase attribution, counter
+    // totals, span counts, and the table format itself. The model is
+    // analytic, so these figures are bit-stable across runs and hosts.
+    let r = run(&["check", "--metrics"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("check.metrics.golden", &r.stderr);
+}

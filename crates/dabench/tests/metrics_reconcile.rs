@@ -1,0 +1,55 @@
+//! Reconciliation of observability counters with rendered report figures.
+//!
+//! The `--metrics` table is only trustworthy if the counters it aggregates
+//! are the *same numbers* the reports print. This test runs Table I with
+//! the recorder on and checks, cell by cell, that the `wse.allocated_pes`
+//! / `wse.chip_pes` counters of each sweep point reproduce the table's PE
+//! allocation ratio exactly. Together with the golden snapshot of the
+//! rendered table (tests/golden/table1.stdout.golden), this pins the whole
+//! chain: compiler output → counters → report cells → rendered text.
+//!
+//! Lives in its own integration-test binary because the recorder is
+//! process-global; nothing else may record concurrently.
+
+use dabench::core::obs;
+use dabench::experiments::table1;
+
+#[test]
+fn table1_cells_reconcile_with_wse_counters() {
+    obs::disable();
+    let _ = obs::take();
+    obs::enable();
+    let rows = table1::run();
+    let traces = obs::take();
+    obs::disable();
+
+    // One trace per sweep cell, in sweep order (paths sort by point index).
+    assert_eq!(traces.len(), rows.len(), "one trace per Table I cell");
+    for (row, trace) in rows.iter().zip(&traces) {
+        match row.allocation_pct {
+            Some(pct) => {
+                let allocated = trace
+                    .counter_total("wse.allocated_pes")
+                    .unwrap_or_else(|| panic!("L={}: no wse.allocated_pes", row.layers));
+                let chip = trace
+                    .counter_total("wse.chip_pes")
+                    .unwrap_or_else(|| panic!("L={}: no wse.chip_pes", row.layers));
+                assert!(
+                    allocated / chip == pct,
+                    "L={}: counters say {}, report says {pct}",
+                    row.layers,
+                    allocated / chip
+                );
+            }
+            None => {
+                // The failing 78-layer cell must not fabricate counters.
+                assert_eq!(
+                    trace.counter_total("wse.allocated_pes"),
+                    None,
+                    "L={}: failed compile recorded an allocation",
+                    row.layers
+                );
+            }
+        }
+    }
+}

@@ -212,6 +212,122 @@ fn supervised_all_matches_per_command_output() {
 }
 
 #[test]
+fn trace_and_metrics_are_byte_identical_across_jobs() {
+    // docs/observability.md: tracing must not perturb determinism — the
+    // Chrome trace, the metrics table, and stdout are identical at any
+    // worker count.
+    let dir = temp_dir("trace-jobs");
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    let p1 = dir.join("t1.json");
+    let p4 = dir.join("t4.json");
+    let trace = |jobs: &str, path: &std::path::Path| {
+        run(
+            &[
+                "all",
+                "--trace-out",
+                path.to_str().expect("utf-8 temp path"),
+                "--metrics",
+                "--jobs",
+                jobs,
+            ],
+            None,
+        )
+    };
+    let r1 = trace("1", &p1);
+    let r4 = trace("4", &p4);
+    assert_eq!(r1.code, Some(0), "{}", r1.stderr);
+    assert_eq!(r4.code, Some(0), "{}", r4.stderr);
+    assert_eq!(r1.stdout, r4.stdout, "stdout depends on --jobs");
+    assert_eq!(r1.stderr, r4.stderr, "metrics table depends on --jobs");
+    let t1 = std::fs::read_to_string(&p1).expect("trace 1");
+    let t4 = std::fs::read_to_string(&p4).expect("trace 4");
+    assert_eq!(t1, t4, "trace depends on --jobs");
+    // The trace covers all four platforms and is structurally a Chrome
+    // trace_event document (CI additionally json-parses it).
+    assert!(t1.starts_with("{\"traceEvents\":["), "{}", &t1[..40]);
+    assert!(t1.trim_end().ends_with('}'));
+    for needle in ["wse.compile", "rdu.execute", "ipu.bsp", "gpu.megatron"] {
+        assert!(t1.contains(needle), "{needle} missing from trace");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_run_replays_identical_trace_and_metrics() {
+    let files = temp_dir("trace-files");
+    std::fs::create_dir_all(&files).expect("trace dir");
+    let clean_t = files.join("clean.json");
+    let clean = run(
+        &[
+            "all",
+            "--trace-out",
+            clean_t.to_str().expect("utf-8 temp path"),
+            "--metrics",
+        ],
+        None,
+    );
+    assert_eq!(clean.code, Some(0), "{}", clean.stderr);
+
+    // Partial traced run: fig9 panics, the other ten journal both their
+    // output and their metrics digest.
+    let dir = temp_dir("trace-resume");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let partial = run(
+        &["all", "--run-dir", dir_s, "--metrics"],
+        Some("fig9=panic"),
+    );
+    assert_eq!(partial.code, Some(2), "{}", partial.stderr);
+
+    // Resume re-runs only fig9; replayed points contribute their journaled
+    // digests, so the trace is byte-identical to the uninterrupted run's.
+    let resumed_t = files.join("resumed.json");
+    let resumed = run(
+        &[
+            "all",
+            "--resume",
+            dir_s,
+            "--trace-out",
+            resumed_t.to_str().expect("utf-8 temp path"),
+            "--metrics",
+        ],
+        None,
+    );
+    assert_eq!(resumed.code, Some(0), "{}", resumed.stderr);
+    assert_eq!(resumed.stdout, clean.stdout, "resumed stdout differs");
+    assert_eq!(
+        std::fs::read_to_string(&resumed_t).expect("resumed trace"),
+        std::fs::read_to_string(&clean_t).expect("clean trace"),
+        "resumed trace differs from an uninterrupted traced run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&files);
+}
+
+#[test]
+fn failed_points_leave_no_events_in_the_trace() {
+    let dir = temp_dir("trace-failed");
+    std::fs::create_dir_all(&dir).expect("trace dir");
+    let path = dir.join("t.json");
+    let r = run(
+        &[
+            "all",
+            "--trace-out",
+            path.to_str().expect("utf-8 temp path"),
+        ],
+        Some("fig12=panic"),
+    );
+    assert_eq!(r.code, Some(2), "{}", r.stderr);
+    let trace = std::fs::read_to_string(&path).expect("trace");
+    // fig12 is experiment index 10, so its point contexts all start with
+    // path component 10; none may survive the panic.
+    assert!(
+        !trace.contains("\"point 10"),
+        "panicked point leaked events into the trace"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_supervision_flags_are_reported() {
     for (args, needle) in [
         (vec!["all", "--deadline-s", "abc"], "--deadline-s"),

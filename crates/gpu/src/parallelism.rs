@@ -78,6 +78,22 @@ pub fn megatron_throughput(
     workload: &TrainingWorkload,
     config: MegatronConfig,
 ) -> Result<GpuRun, PlatformError> {
+    use dabench_core::obs;
+    obs::span(obs::Phase::Execute, "gpu.megatron", || {
+        let run = megatron_inner(spec, workload, config);
+        if let Ok(run) = &run {
+            obs::counter("gpu.tokens_per_s", run.tokens_per_s);
+            obs::counter("gpu.bubble_fraction", run.bubble_fraction);
+        }
+        run
+    })
+}
+
+fn megatron_inner(
+    spec: &GpuSpec,
+    workload: &TrainingWorkload,
+    config: MegatronConfig,
+) -> Result<GpuRun, PlatformError> {
     if config.tp == 0 || config.pp == 0 || config.dp == 0 || config.micro_batch == 0 {
         return Err(PlatformError::Unsupported(
             "parallel degrees must be positive".to_owned(),

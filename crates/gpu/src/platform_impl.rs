@@ -32,6 +32,20 @@ impl Platform for GpuCluster {
     }
 
     fn profile(&self, workload: &TrainingWorkload) -> Result<ChipProfile, PlatformError> {
+        use dabench_core::obs;
+        obs::span(obs::Phase::Execute, "gpu.profile", || {
+            let p = self.profile_inner(workload);
+            if let Ok(p) = &p {
+                obs::counter("gpu.step_time_s", p.step_time_s);
+                obs::counter("gpu.achieved_tflops", p.achieved_tflops);
+            }
+            p
+        })
+    }
+}
+
+impl GpuCluster {
+    fn profile_inner(&self, workload: &TrainingWorkload) -> Result<ChipProfile, PlatformError> {
         let g = self.gpu_spec();
         let state = workload.training_state_bytes() + workload.activation_memory().stored_bytes();
         if state > g.hbm_bytes {

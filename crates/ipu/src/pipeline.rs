@@ -58,6 +58,24 @@ pub fn pipeline_with_allocation(
     workload: &TrainingWorkload,
     allocation: &[u64],
 ) -> Result<PipelinePlan, PlatformError> {
+    use dabench_core::obs;
+    obs::span(obs::Phase::Execute, "ipu.pipeline", || {
+        let plan = pipeline_with_allocation_inner(spec, params, workload, allocation);
+        if let Ok(p) = &plan {
+            obs::counter("ipu.stages", p.stages.len() as f64);
+            obs::counter("ipu.step_time_s", p.step_time_s);
+            obs::counter("ipu.overhead_fraction", p.overhead_fraction);
+        }
+        plan
+    })
+}
+
+fn pipeline_with_allocation_inner(
+    spec: &IpuSpec,
+    params: &IpuCompilerParams,
+    workload: &TrainingWorkload,
+    allocation: &[u64],
+) -> Result<PipelinePlan, PlatformError> {
     let total: u64 = allocation.iter().sum();
     if total != workload.model().num_layers || allocation.is_empty() {
         return Err(PlatformError::Unsupported(format!(

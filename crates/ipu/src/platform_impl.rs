@@ -47,6 +47,20 @@ impl Platform for Ipu {
     /// layers — the Fig. 9(d) configuration: tile allocation saturates near
     /// four GPT-2-small layers and SRAM overflows at ten.
     fn profile(&self, workload: &TrainingWorkload) -> Result<ChipProfile, PlatformError> {
+        use dabench_core::obs;
+        obs::span(obs::Phase::Execute, "ipu.bsp", || {
+            let p = self.profile_inner(workload);
+            if let Ok(p) = &p {
+                obs::counter("ipu.step_time_s", p.step_time_s);
+                obs::counter("ipu.achieved_tflops", p.achieved_tflops);
+            }
+            p
+        })
+    }
+}
+
+impl Ipu {
+    fn profile_inner(&self, workload: &TrainingWorkload) -> Result<ChipProfile, PlatformError> {
         let spec = self.ipu_spec();
         let params = self.compiler_params();
         let layers = workload.model().num_layers;

@@ -62,11 +62,20 @@ pub fn partition(
     params: &RduCompilerParams,
     mode: CompilationMode,
 ) -> Vec<Section> {
-    match mode {
-        CompilationMode::O0 => partition_o0(workload, spec, params),
-        CompilationMode::O1 => partition_o1(workload, spec, params),
-        CompilationMode::O3 => partition_o3(workload, spec, params),
-    }
+    use dabench_core::obs;
+    obs::span(
+        obs::Phase::Partition,
+        &format!("rdu.partition.{mode}"),
+        || {
+            let sections = match mode {
+                CompilationMode::O0 => partition_o0(workload, spec, params),
+                CompilationMode::O1 => partition_o1(workload, spec, params),
+                CompilationMode::O3 => partition_o3(workload, spec, params),
+            };
+            obs::counter("rdu.sections", sections.len() as f64);
+            sections
+        },
+    )
 }
 
 fn elem_bytes(w: &TrainingWorkload) -> u64 {

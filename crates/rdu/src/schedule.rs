@@ -76,6 +76,22 @@ pub fn execute_sections(
     spec: &RduSpec,
     params: &RduCompilerParams,
 ) -> RduExecution {
+    use dabench_core::obs;
+    obs::span(obs::Phase::Execute, "rdu.execute", || {
+        let e = execute_sections_inner(sections, workload, spec, params);
+        obs::counter("rdu.step_time_s", e.step_time_s);
+        obs::counter("rdu.ddr_bytes", e.ddr_bytes_per_step as f64);
+        obs::counter("rdu.memory_bound_fraction", e.memory_bound_fraction);
+        e
+    })
+}
+
+fn execute_sections_inner(
+    sections: &[Section],
+    workload: &TrainingWorkload,
+    spec: &RduSpec,
+    params: &RduCompilerParams,
+) -> RduExecution {
     let rate = precision_rate_factor(workload.precision());
     let traffic_mult = precision_traffic_factor(workload.precision());
     let mut timings = Vec::with_capacity(sections.len());

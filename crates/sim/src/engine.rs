@@ -298,11 +298,26 @@ impl Simulation {
 
     /// Execute the simulation to completion.
     ///
+    /// Recorded as an `execute`-phase span (`sim.run`) with `sim.tasks` /
+    /// `sim.makespan_s` counters when the observability recorder is on.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] on invalid resource/dependency references or if
     /// the dependency graph deadlocks.
     pub fn run(&self) -> Result<SimResult, SimError> {
+        use dabench_core::obs;
+        obs::span(obs::Phase::Execute, "sim.run", || {
+            let result = self.run_inner();
+            if let Ok(res) = &result {
+                obs::counter("sim.tasks", self.tasks.len() as f64);
+                obs::counter("sim.makespan_s", res.makespan());
+            }
+            result
+        })
+    }
+
+    fn run_inner(&self) -> Result<SimResult, SimError> {
         let n = self.tasks.len();
         let nr = self.resources.len();
 

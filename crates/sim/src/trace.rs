@@ -26,12 +26,23 @@ pub struct Timeline {
 
 impl Timeline {
     /// Total idle time inside the resource's active span.
+    ///
+    /// The span runs from the earliest interval start to the latest
+    /// finish — computed as a min/max over all intervals, so the result
+    /// does not depend on interval order (the sorted-by-start invariant
+    /// of [`timelines`] is *not* required). Empty timelines have no span
+    /// and report zero idle; zero-length intervals contribute no busy
+    /// time but still extend the span.
     #[must_use]
     pub fn idle_within_span(&self) -> f64 {
         if self.intervals.is_empty() {
             return 0.0;
         }
-        let span_start = self.intervals.first().map_or(0.0, |i| i.start);
+        let span_start = self
+            .intervals
+            .iter()
+            .map(|i| i.start)
+            .fold(f64::INFINITY, f64::min);
         let span_end = self
             .intervals
             .iter()
@@ -39,6 +50,22 @@ impl Timeline {
             .fold(f64::NEG_INFINITY, f64::max);
         let busy: f64 = self.intervals.iter().map(|i| i.finish - i.start).sum();
         (span_end - span_start - busy).max(0.0)
+    }
+}
+
+/// Feed timelines into the observability recorder as simulated-time
+/// slices (`dabench_core::obs::slice`), one track per resource.
+///
+/// No-op when the recorder is disabled, so simulation callers can invoke
+/// it unconditionally after [`timelines`].
+pub fn record_timelines(timelines: &[Timeline]) {
+    if !dabench_core::obs::is_enabled() {
+        return;
+    }
+    for tl in timelines {
+        for iv in &tl.intervals {
+            dabench_core::obs::slice(&tl.resource, &iv.task, iv.start, iv.finish - iv.start);
+        }
     }
 }
 
@@ -172,6 +199,64 @@ mod tests {
         let tl = timelines(&res);
         let b = tl.iter().find(|t| t.resource == "b").unwrap();
         assert!((b.idle_within_span() - 4.0).abs() < 1e-12);
+    }
+
+    fn iv(task: &str, start: f64, finish: f64) -> Interval {
+        Interval {
+            task: task.to_owned(),
+            start,
+            finish,
+        }
+    }
+
+    #[test]
+    fn empty_timeline_has_zero_idle() {
+        let tl = Timeline {
+            resource: "r".to_owned(),
+            intervals: vec![],
+        };
+        assert_eq!(tl.idle_within_span(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_intervals_extend_the_span_without_busy_time() {
+        // A zero-length marker at t=0 plus one unit of work in [3,4]:
+        // the span is [0,4], busy is 1, idle is 3.
+        let tl = Timeline {
+            resource: "r".to_owned(),
+            intervals: vec![iv("marker", 0.0, 0.0), iv("work", 3.0, 4.0)],
+        };
+        assert!((tl.idle_within_span() - 3.0).abs() < 1e-12);
+        // All-zero-length intervals: span collapses, no idle.
+        let degenerate = Timeline {
+            resource: "r".to_owned(),
+            intervals: vec![iv("m1", 2.0, 2.0), iv("m2", 2.0, 2.0)],
+        };
+        assert_eq!(degenerate.idle_within_span(), 0.0);
+    }
+
+    #[test]
+    fn idle_within_span_is_order_independent() {
+        // Unsorted input: the first interval is *not* the earliest. A
+        // first-element span start would misreport idle as 0 here.
+        let unsorted = Timeline {
+            resource: "r".to_owned(),
+            intervals: vec![iv("late", 5.0, 6.0), iv("early", 0.0, 1.0)],
+        };
+        let sorted = Timeline {
+            resource: "r".to_owned(),
+            intervals: vec![iv("early", 0.0, 1.0), iv("late", 5.0, 6.0)],
+        };
+        assert!((unsorted.idle_within_span() - 4.0).abs() < 1e-12);
+        assert_eq!(unsorted.idle_within_span(), sorted.idle_within_span());
+    }
+
+    #[test]
+    fn record_timelines_is_inert_when_recorder_is_off() {
+        // Must not panic or record anything without an enabled recorder.
+        dabench_core::obs::disable();
+        record_timelines(&timelines(&pipeline_sim()));
+        assert!(dabench_core::obs::take().is_empty());
     }
 
     #[test]

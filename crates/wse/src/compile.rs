@@ -165,24 +165,35 @@ pub fn compile(
     workload: &TrainingWorkload,
     budget_pes: Option<u64>,
 ) -> Result<WseCompilation, PlatformError> {
-    let default_budget = (params.usable_grid_fraction * spec.pe_count() as f64).floor() as u64;
-    let mut budget = budget_pes.unwrap_or(default_budget).min(default_budget);
-    // Placement can fail on strip-width rounding when the grid is nearly
-    // full; the compiler retries with a slightly smaller budget, which is
-    // also what produces the small allocation jitter of Table I's plateau.
-    let mut last_err = None;
-    for _ in 0..8 {
-        match compile_with_budget(spec, params, workload, budget) {
-            Err(PlatformError::CompileFailure(msg)) if msg.contains("grid width") => {
-                last_err = Some(PlatformError::CompileFailure(msg));
-                budget = (budget as f64 * 0.98) as u64;
+    use dabench_core::obs;
+    obs::span(obs::Phase::Compile, "wse.compile", || {
+        let default_budget = (params.usable_grid_fraction * spec.pe_count() as f64).floor() as u64;
+        let mut budget = budget_pes.unwrap_or(default_budget).min(default_budget);
+        // Placement can fail on strip-width rounding when the grid is nearly
+        // full; the compiler retries with a slightly smaller budget, which is
+        // also what produces the small allocation jitter of Table I's plateau.
+        let mut last_err = None;
+        for attempt in 0..8 {
+            match compile_with_budget(spec, params, workload, budget) {
+                Err(PlatformError::CompileFailure(msg)) if msg.contains("grid width") => {
+                    last_err = Some(PlatformError::CompileFailure(msg));
+                    budget = (budget as f64 * 0.98) as u64;
+                }
+                other => {
+                    if let Ok(c) = &other {
+                        obs::counter("wse.budget_retries", attempt as f64);
+                        obs::counter("wse.kernels", c.kernels.len() as f64);
+                        obs::counter("wse.allocated_pes", c.allocated_pes() as f64);
+                        obs::counter("wse.chip_pes", c.chip_pes as f64);
+                    }
+                    return other;
+                }
             }
-            other => return other,
         }
-    }
-    Err(last_err.unwrap_or_else(|| {
-        PlatformError::CompileFailure("placement failed at every budget".to_owned())
-    }))
+        Err(last_err.unwrap_or_else(|| {
+            PlatformError::CompileFailure("placement failed at every budget".to_owned())
+        }))
+    })
 }
 
 fn compile_with_budget(
@@ -263,10 +274,10 @@ fn compile_with_budget(
         .zip(comp.iter().zip(&trans))
         .map(|(k, (&c, &t))| (k.name(), c + t))
         .collect();
-    let placement =
-        Placement::strips(&regions, spec.grid_rows, spec.grid_cols).ok_or_else(|| {
-            PlatformError::CompileFailure("kernel strips exceed grid width".to_owned())
-        })?;
+    let placement = dabench_core::obs::span(dabench_core::obs::Phase::Place, "wse.place", || {
+        Placement::strips(&regions, spec.grid_rows, spec.grid_cols)
+    })
+    .ok_or_else(|| PlatformError::CompileFailure("kernel strips exceed grid width".to_owned()))?;
 
     // Per-PE memory layout and pressure factors.
     let config_per_pe =

@@ -53,6 +53,22 @@ pub fn execute(
     compilation: &WseCompilation,
     workload: &TrainingWorkload,
 ) -> WseExecution {
+    use dabench_core::obs;
+    obs::span(obs::Phase::Execute, "wse.execute", || {
+        let e = execute_inner(spec, params, compilation, workload);
+        obs::counter("wse.stages", e.stage_times_s.len() as f64);
+        obs::counter("wse.step_time_s", e.step_time_s);
+        obs::counter("wse.achieved_tflops", e.achieved_tflops);
+        e
+    })
+}
+
+fn execute_inner(
+    spec: &WseSpec,
+    params: &WseCompilerParams,
+    compilation: &WseCompilation,
+    workload: &TrainingWorkload,
+) -> WseExecution {
     let batch = workload.batch_size();
     let rate = precision_rate_factor(workload.precision(), params);
 

@@ -95,6 +95,22 @@ pub fn try_streaming_schedule(
     params: &WseCompilerParams,
     workload: &TrainingWorkload,
 ) -> Result<StreamingSchedule, SimError> {
+    use dabench_core::obs;
+    obs::span(obs::Phase::Execute, "wse.streaming", || {
+        let s = try_streaming_schedule_inner(spec, params, workload);
+        if let Ok(s) = &s {
+            obs::counter("wse.streamed_layers", s.layers.len() as f64);
+            obs::counter("wse.overlap_efficiency", s.overlap_efficiency);
+        }
+        s
+    })
+}
+
+fn try_streaming_schedule_inner(
+    spec: &WseSpec,
+    params: &WseCompilerParams,
+    workload: &TrainingWorkload,
+) -> Result<StreamingSchedule, SimError> {
     let rate = precision_rate_factor(workload.precision(), params);
     let weight_elem_bytes = workload.precision().bytes_per_element();
     let layers: Vec<StreamedLayer> = kernels_of(workload)
@@ -123,6 +139,11 @@ pub fn try_streaming_schedule(
         prev_compute = Some(sim.add_task(compute));
     }
     let result = sim.run()?;
+    if dabench_core::obs::is_enabled() {
+        // Bridge the per-resource timelines (ingest link, wafer) into the
+        // trace as simulated-time slices.
+        dabench_sim::trace::record_timelines(&dabench_sim::trace::timelines(&result));
+    }
 
     let total_stream: f64 = layers.iter().map(|l| l.stream_time_s).sum();
     let total_compute: f64 = layers.iter().map(|l| l.compute_time_s).sum();
