@@ -1,0 +1,28 @@
+//! Criterion mirror of the `dabench bench` macro-suite hot paths: the
+//! deep-model WSE compile (the budget-shrink retry loop) and the Tier-1
+//! memo-cache lookup, plus its pinned pre-rework replica.
+//!
+//! The bodies come straight from `dabench::bench_suite::make_body`, so
+//! criterion times the *exact* closures the `dabench bench` harness and
+//! `BENCH_sweeps.json` report on — no parallel workload definitions to
+//! drift apart.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dabench::bench_suite::make_body;
+use dabench::core::cache::clear_tier1_cache;
+
+fn bench(c: &mut Criterion) {
+    for name in [
+        "wse_compile_deep",
+        "cache_lookup_hit",
+        "cache_lookup_legacy",
+    ] {
+        // Fresh cache per case: make_body warms what the case expects.
+        clear_tier1_cache();
+        let mut body = make_body(name);
+        c.bench_function(name, |b| b.iter(&mut body));
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,9 +11,20 @@
 //! Platforms opt in through [`Memoizable`], whose only obligation is a
 //! *stable configuration token*: a string that changes whenever anything
 //! influencing the profile changes (hardware spec, compiler parameters,
-//! compilation mode). The cache key is that token plus the workload's
-//! canonical `Debug` form. Keying on the full configuration — not just the
+//! compilation mode). Keying on the full configuration — not just the
 //! platform name — keeps sensitivity sweeps (which mutate specs) safe.
+//!
+//! # Key representation
+//!
+//! The lookup key is `(CacheKey, TrainingWorkload)`: the configuration
+//! token is folded into a 128-bit [`CacheKey`] fingerprint that platforms
+//! precompute at construction (so the hot lookup path performs no string
+//! formatting or allocation — see `docs/benchmarking.md` for the measured
+//! effect), while the workload side uses *exact* equality via the
+//! workload's derived `Eq`/`Hash`, so workload collisions are impossible
+//! by construction. Token fingerprints use two independent 64-bit FNV-1a
+//! streams; with the handful of platform configurations a process ever
+//! constructs, a 128-bit collision is not a realistic concern.
 
 use crate::error::PlatformError;
 use crate::platform::Platform;
@@ -23,6 +34,35 @@ use dabench_model::TrainingWorkload;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 128-bit fingerprint of a platform configuration token.
+///
+/// Two independent FNV-1a streams over the token bytes (the second
+/// stream perturbs its offset basis and byte stream so the halves do not
+/// co-vary). Equal tokens always produce equal keys; distinct tokens
+/// produce distinct keys with overwhelming probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey {
+    lo: u64,
+    hi: u64,
+}
+
+impl CacheKey {
+    /// Fingerprint `token`. Deterministic across runs and platforms.
+    #[must_use]
+    pub fn of_token(token: &str) -> Self {
+        let mut lo = FNV_OFFSET;
+        let mut hi = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        for &b in token.as_bytes() {
+            lo = (lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            hi = (hi ^ u64::from(b ^ 0x5a)).wrapping_mul(FNV_PRIME);
+        }
+        CacheKey { lo, hi }
+    }
+}
 
 /// Platforms whose Tier-1 results may be memoized.
 ///
@@ -35,6 +75,17 @@ pub trait Memoizable: Platform {
     /// applicable) compilation mode. Two instances with equal tokens must
     /// produce identical profiles for every workload.
     fn cache_token(&self) -> String;
+
+    /// The fingerprint used as the configuration half of the cache key.
+    ///
+    /// The default derives it from [`Memoizable::cache_token`] on every
+    /// call; platforms on the sweep hot path override this with a key
+    /// precomputed at construction so lookups allocate nothing. An
+    /// override must equal `CacheKey::of_token(&self.cache_token())` at
+    /// all times.
+    fn cache_key(&self) -> CacheKey {
+        CacheKey::of_token(&self.cache_token())
+    }
 }
 
 /// Hit/miss counters of the process-wide Tier-1 cache.
@@ -46,7 +97,8 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-type Store = Mutex<HashMap<(String, String), Result<Tier1Report, PlatformError>>>;
+type Store =
+    Mutex<HashMap<CacheKey, HashMap<TrainingWorkload, Result<Tier1Report, PlatformError>>>>;
 
 static CACHE: OnceLock<Store> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
@@ -56,7 +108,7 @@ fn store() -> &'static Store {
     CACHE.get_or_init(Store::default)
 }
 
-/// [`tier1::run`], memoized on `(cache token, workload)`.
+/// [`tier1::run`], memoized on `(cache key, workload)`.
 ///
 /// The lock is *not* held while profiling, so concurrent [`par_map`]
 /// workers never serialize on a cold cache; two workers racing on the
@@ -85,8 +137,13 @@ pub fn tier1_cached<P: Memoizable>(
     if crate::obs::is_enabled() {
         return tier1::run(platform, workload);
     }
-    let key = (platform.cache_token(), format!("{workload:?}"));
-    if let Some(cached) = store().lock().expect("cache lock").get(&key) {
+    let key = platform.cache_key();
+    if let Some(cached) = store()
+        .lock()
+        .expect("cache lock")
+        .get(&key)
+        .and_then(|per_workload| per_workload.get(workload))
+    {
         HITS.fetch_add(1, Ordering::Relaxed);
         return cached.clone();
     }
@@ -95,7 +152,9 @@ pub fn tier1_cached<P: Memoizable>(
     store()
         .lock()
         .expect("cache lock")
-        .insert(key, result.clone());
+        .entry(key)
+        .or_default()
+        .insert(workload.clone(), result.clone());
     result
 }
 
@@ -210,6 +269,52 @@ mod tests {
         let ra = tier1_cached(&chip, &workload(2)).unwrap();
         let rb = tier1_cached(&chip, &workload(16)).unwrap();
         assert_ne!(ra.workload, rb.workload);
+    }
+
+    #[test]
+    fn workloads_differing_only_in_precision_do_not_collide() {
+        let chip = CountingChip {
+            token: "cache-test-precision".into(),
+            tflops: 30.0,
+        };
+        let fp16 = workload(4);
+        let bf16 = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 2), 4, 512, Precision::Bf16);
+        let ra = tier1_cached(&chip, &fp16).unwrap();
+        let rb = tier1_cached(&chip, &bf16).unwrap();
+        assert_ne!(ra.workload, rb.workload);
+        assert_eq!(ra.workload, fp16.to_string());
+        assert_eq!(rb.workload, bf16.to_string());
+    }
+
+    #[test]
+    fn workloads_differing_only_in_seq_len_do_not_collide() {
+        let chip = CountingChip {
+            token: "cache-test-seqlen".into(),
+            tflops: 30.0,
+        };
+        let short = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 2), 4, 512, Precision::Fp16);
+        let long = TrainingWorkload::new(ModelConfig::gpt2_probe(768, 2), 4, 2048, Precision::Fp16);
+        let ra = tier1_cached(&chip, &short).unwrap();
+        let rb = tier1_cached(&chip, &long).unwrap();
+        assert_ne!(ra.workload, rb.workload);
+    }
+
+    #[test]
+    fn cache_key_is_deterministic_and_token_sensitive() {
+        let a = CacheKey::of_token("wse|SpecA");
+        assert_eq!(a, CacheKey::of_token("wse|SpecA"));
+        assert_ne!(a, CacheKey::of_token("wse|SpecB"));
+        assert_ne!(a, CacheKey::of_token("wse|SpecA "));
+        assert_ne!(CacheKey::of_token(""), CacheKey::of_token("\0"));
+    }
+
+    #[test]
+    fn default_cache_key_matches_token_fingerprint() {
+        let chip = CountingChip {
+            token: "cache-test-default-key".into(),
+            tflops: 1.0,
+        };
+        assert_eq!(chip.cache_key(), CacheKey::of_token(&chip.cache_token()));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod cache;
 mod error;
 pub mod faults;
@@ -55,7 +56,10 @@ pub mod supervise;
 pub mod tier1;
 pub mod tier2;
 
-pub use cache::{cache_stats, tier1_cached, CacheStats, Memoizable};
+pub use bench::{
+    iter_plan, regressions, BenchKind, BenchRecord, BenchReport, IterPlan, Regression, Summary,
+};
+pub use cache::{cache_stats, tier1_cached, CacheKey, CacheStats, Memoizable};
 pub use error::PlatformError;
 pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultKind, FaultSet, RecoveryCost};
 pub use obs::{Phase, PointTrace, Recorder};

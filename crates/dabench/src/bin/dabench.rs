@@ -27,20 +27,19 @@
 //! code 2 flags a run that completed with failed/panicked/timed-out
 //! points.
 
+use dabench::bench_suite::run_bench;
 use dabench::core::obs;
 use dabench::core::supervise::{PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy};
 use dabench::core::{
     par_map, set_jobs, supervise_point, tier1, Degradable, Platform, PlatformError, PointTrace,
 };
-use dabench::experiments::{
-    ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, summary, table1, table2,
-    table3, table4, validation,
-};
+use dabench::experiments::{summary, validation};
 use dabench::faults::{render_report, resilience_sweep, PlanSpec};
 use dabench::gpu::GpuCluster;
 use dabench::ipu::Ipu;
 use dabench::model::{ModelConfig, Precision, TrainingWorkload};
 use dabench::rdu::{CompilationMode, Rdu};
+use dabench::suite::{experiment_tables, render_experiment, EXPERIMENTS};
 use dabench::wse::Wse;
 use std::process::ExitCode;
 
@@ -184,103 +183,6 @@ fn run_faults(rest: &[String]) -> Result<(), String> {
     println!("Workload: {w}\n");
     print!("{}", render_report(&report));
     Ok(())
-}
-
-/// All table/figure command names, in paper order.
-const EXPERIMENTS: [&str; 11] = [
-    "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12",
-];
-
-/// The tables behind one paper artifact; `None` when the name is unknown.
-fn experiment_tables(name: &str) -> Option<Vec<dabench::render::Table>> {
-    Some(match name {
-        "table1" => vec![table1::render(&table1::run())],
-        "table2" => {
-            let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
-            vec![a, b]
-        }
-        "table3" => vec![table3::render(&table3::run())],
-        "table4" => vec![table4::render(&table4::run())],
-        "fig6" => vec![fig6::render(&fig6::run())],
-        "fig7" => vec![
-            fig7::render(&fig7::run_layers(), "a"),
-            fig7::render(&fig7::run_hidden_sizes(), "b"),
-        ],
-        "fig8" => vec![
-            fig8::render(&fig8::run_layers(), "a"),
-            fig8::render(&fig8::run_hidden_sizes(), "b"),
-        ],
-        "fig9" => fig9::render(
-            &fig9::run_wse(),
-            &fig9::run_rdu_layers(),
-            &fig9::run_rdu_hidden(),
-            &fig9::run_ipu(),
-        ),
-        "fig10" => vec![fig10::render(&fig10::run())],
-        "fig11" => fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()),
-        "fig12" => vec![fig12::render(&fig12::run())],
-        "ablations" => ablation_tables(),
-        "sensitivity" => vec![sensitivity::render(&sensitivity::run())],
-        _ => return None,
-    })
-}
-
-/// Render one paper artifact to the exact text `dabench <name>` prints
-/// (each table followed by a newline, table2's pair joined specially).
-fn render_experiment(name: &str) -> Option<String> {
-    let tables = experiment_tables(name)?;
-    let mut out = String::new();
-    if name == "table2" {
-        // table2 historically prints its two tables as one block.
-        out.push_str(&format!("{}\n{}\n", tables[0], tables[1]));
-    } else {
-        for t in tables {
-            out.push_str(&format!("{t}\n"));
-        }
-    }
-    Some(out)
-}
-
-fn ablation_tables() -> Vec<dabench::render::Table> {
-    let builders: [fn() -> dabench::render::Table; 5] = [
-        || {
-            ablations::render(
-                "Ablation: WSE transmission-PE overhead (24 layers)",
-                "ratio",
-                &ablations::wse_transmission_ratio(),
-            )
-        },
-        || {
-            ablations::render(
-                "Ablation: WSE config-memory growth vs max depth",
-                "coef",
-                &ablations::wse_config_growth(),
-            )
-        },
-        || {
-            ablations::render(
-                "Ablation: RDU operator fusion",
-                "fused",
-                &ablations::rdu_fusion(),
-            )
-        },
-        || {
-            ablations::render(
-                "Ablation: RDU per-section PCU ceiling (HS 1600)",
-                "ceiling",
-                &ablations::rdu_section_ceiling(),
-            )
-        },
-        || {
-            ablations::render(
-                "Ablation: IPU activation residency vs capacity",
-                "residency",
-                &ablations::ipu_activation_residency(),
-            )
-        },
-    ];
-    par_map(&builders, |build| build())
 }
 
 /// Options for the supervised `all` run.
@@ -528,6 +430,7 @@ fn usage() -> &'static str {
        tier1 <wse|rdu-o0|rdu-o1|rdu-o3|ipu|gpu>  profile one workload\n\
        summary                           all platforms, one workload\n\
        faults <wse|rdu-o0|rdu-o1|rdu-o3|ipu>     resilience sweep\n\
+       bench                             deterministic perf harness (BENCH_sweeps.json)\n\
      options: --hidden N --layers N --batch N --seq N\n\
               --precision fp16|bf16|cb16|fp32 --model <preset>\n\
               --jobs N   worker threads (default: all cores; also DABENCH_JOBS)\n\
@@ -539,6 +442,9 @@ fn usage() -> &'static str {
      \x20            --max-retries N retry transient platform errors N times\n\
      \x20            exit codes: 0 clean, 2 some points failed (see stderr report)\n\
      faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N\n\
+     bench options: --quick --list --out FILE --baseline FILE --gate PCT\n\
+     \x20              --filter SUBSTR --record LABEL\n\
+     \x20              exit codes: 0 clean, 3 regression past the gate\n\
      csv targets: table1-4 fig6-12 ablations sensitivity"
 }
 
@@ -635,6 +541,16 @@ fn main() -> ExitCode {
         // `all` opens one point context per experiment itself.
         match run_all(rest) {
             Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if cmd == "bench" {
+        // `bench` owns the recorder (per-case profile passes) and the
+        // exit code (3 = perf regression past the gate).
+        match run_bench(rest) {
+            Ok(code) => ExitCode::from(code),
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

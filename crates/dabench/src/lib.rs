@@ -21,8 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_suite;
 pub mod experiments;
 pub mod render;
+pub mod suite;
 
 /// Re-export of the framework core (`dabench-core`).
 pub mod core {

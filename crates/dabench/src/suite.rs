@@ -1,0 +1,133 @@
+//! The experiment suite as a library: every paper artifact the CLI can
+//! render, addressable by name.
+//!
+//! This used to live in the `dabench` binary; it moved here so the
+//! macro-benchmark harness ([`crate::bench_suite`]) and the criterion
+//! targets in `crates/bench` can time the *exact* renderings the CLI
+//! prints, instead of maintaining parallel workload definitions.
+
+use crate::core::par_map;
+use crate::experiments::{
+    ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, table1, table2, table3,
+    table4,
+};
+use crate::render::Table;
+
+/// All table/figure command names, in paper order.
+pub const EXPERIMENTS: [&str; 11] = [
+    "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12",
+];
+
+/// The tables behind one paper artifact; `None` when the name is unknown.
+#[must_use]
+pub fn experiment_tables(name: &str) -> Option<Vec<Table>> {
+    Some(match name {
+        "table1" => vec![table1::render(&table1::run())],
+        "table2" => {
+            let (a, b) = table2::render(&table2::run_o3(), &table2::run_shards());
+            vec![a, b]
+        }
+        "table3" => vec![table3::render(&table3::run())],
+        "table4" => vec![table4::render(&table4::run())],
+        "fig6" => vec![fig6::render(&fig6::run())],
+        "fig7" => vec![
+            fig7::render(&fig7::run_layers(), "a"),
+            fig7::render(&fig7::run_hidden_sizes(), "b"),
+        ],
+        "fig8" => vec![
+            fig8::render(&fig8::run_layers(), "a"),
+            fig8::render(&fig8::run_hidden_sizes(), "b"),
+        ],
+        "fig9" => fig9::render(
+            &fig9::run_wse(),
+            &fig9::run_rdu_layers(),
+            &fig9::run_rdu_hidden(),
+            &fig9::run_ipu(),
+        ),
+        "fig10" => vec![fig10::render(&fig10::run())],
+        "fig11" => fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()),
+        "fig12" => vec![fig12::render(&fig12::run())],
+        "ablations" => ablation_tables(),
+        "sensitivity" => vec![sensitivity::render(&sensitivity::run())],
+        _ => return None,
+    })
+}
+
+/// Render one paper artifact to the exact text `dabench <name>` prints
+/// (each table followed by a newline, table2's pair joined specially).
+#[must_use]
+pub fn render_experiment(name: &str) -> Option<String> {
+    let tables = experiment_tables(name)?;
+    let mut out = String::new();
+    if name == "table2" {
+        // table2 historically prints its two tables as one block.
+        out.push_str(&format!("{}\n{}\n", tables[0], tables[1]));
+    } else {
+        for t in tables {
+            out.push_str(&format!("{t}\n"));
+        }
+    }
+    Some(out)
+}
+
+/// The five design-choice ablation tables, built in parallel.
+#[must_use]
+pub fn ablation_tables() -> Vec<Table> {
+    let builders: [fn() -> Table; 5] = [
+        || {
+            ablations::render(
+                "Ablation: WSE transmission-PE overhead (24 layers)",
+                "ratio",
+                &ablations::wse_transmission_ratio(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: WSE config-memory growth vs max depth",
+                "coef",
+                &ablations::wse_config_growth(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: RDU operator fusion",
+                "fused",
+                &ablations::rdu_fusion(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: RDU per-section PCU ceiling (HS 1600)",
+                "ceiling",
+                &ablations::rdu_section_ceiling(),
+            )
+        },
+        || {
+            ablations::render(
+                "Ablation: IPU activation residency vs capacity",
+                "residency",
+                &ablations::ipu_activation_residency(),
+            )
+        },
+    ];
+    par_map(&builders, |build| build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_experiment_renders() {
+        for name in EXPERIMENTS {
+            assert!(render_experiment(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        assert!(experiment_tables("table9").is_none());
+        assert!(render_experiment("").is_none());
+    }
+}

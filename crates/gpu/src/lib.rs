@@ -38,16 +38,29 @@ pub use chip::GpuSpec;
 pub use parallelism::{megatron_throughput, GpuRun, MegatronConfig};
 
 /// A GPU cluster baseline platform.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GpuCluster {
     spec: GpuSpec,
+    // Precomputed at construction so memo-cache lookups allocate nothing.
+    cache_key: dabench_core::CacheKey,
+}
+
+impl Default for GpuCluster {
+    fn default() -> Self {
+        Self::new(GpuSpec::default())
+    }
+}
+
+pub(crate) fn cache_token_of(spec: &GpuSpec) -> String {
+    format!("gpu|{spec:?}")
 }
 
 impl GpuCluster {
     /// Create a cluster model from a GPU spec.
     #[must_use]
     pub fn new(spec: GpuSpec) -> Self {
-        Self { spec }
+        let cache_key = dabench_core::CacheKey::of_token(&cache_token_of(&spec));
+        Self { spec, cache_key }
     }
 
     /// Hardware description in use.

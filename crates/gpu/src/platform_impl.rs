@@ -74,7 +74,11 @@ impl GpuCluster {
 
 impl Memoizable for GpuCluster {
     fn cache_token(&self) -> String {
-        format!("gpu|{:?}", self.gpu_spec())
+        crate::cache_token_of(self.gpu_spec())
+    }
+
+    fn cache_key(&self) -> dabench_core::CacheKey {
+        self.cache_key
     }
 }
 

@@ -52,17 +52,34 @@ pub use memory::{decoder_ipu_memory, embedding_ipu_memory, IpuMemoryUse};
 pub use pipeline::{pipeline_parallel, pipeline_with_allocation, PipelinePlan, StageLoad};
 
 /// The Graphcore Bow-2000 / IPU platform model.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Ipu {
     spec: IpuSpec,
     params: IpuCompilerParams,
+    // Precomputed at construction so memo-cache lookups allocate nothing.
+    cache_key: dabench_core::CacheKey,
+}
+
+impl Default for Ipu {
+    fn default() -> Self {
+        Self::new(IpuSpec::default(), IpuCompilerParams::default())
+    }
+}
+
+pub(crate) fn cache_token_of(spec: &IpuSpec, params: &IpuCompilerParams) -> String {
+    format!("ipu|{spec:?}|{params:?}")
 }
 
 impl Ipu {
     /// Create an IPU model with explicit hardware/compiler parameters.
     #[must_use]
     pub fn new(spec: IpuSpec, params: IpuCompilerParams) -> Self {
-        Self { spec, params }
+        let cache_key = dabench_core::CacheKey::of_token(&cache_token_of(&spec, &params));
+        Self {
+            spec,
+            params,
+            cache_key,
+        }
     }
 
     /// Hardware description in use.

@@ -116,7 +116,11 @@ impl Ipu {
 
 impl Memoizable for Ipu {
     fn cache_token(&self) -> String {
-        format!("ipu|{:?}|{:?}", self.ipu_spec(), self.compiler_params())
+        crate::cache_token_of(self.ipu_spec(), self.compiler_params())
+    }
+
+    fn cache_key(&self) -> dabench_core::CacheKey {
+        self.cache_key
     }
 }
 

@@ -23,7 +23,7 @@ use std::fmt;
 /// assert_eq!(w.tokens_per_step(), 16 * 1024);
 /// assert!(w.arithmetic_intensity() > 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TrainingWorkload {
     model: ModelConfig,
     batch_size: u64,

@@ -62,13 +62,29 @@ pub struct Rdu {
     spec: RduSpec,
     params: RduCompilerParams,
     mode: CompilationMode,
+    // Precomputed at construction so memo-cache lookups allocate nothing.
+    cache_key: dabench_core::CacheKey,
+}
+
+pub(crate) fn cache_token_of(
+    mode: CompilationMode,
+    spec: &RduSpec,
+    params: &RduCompilerParams,
+) -> String {
+    format!("rdu|{mode:?}|{spec:?}|{params:?}")
 }
 
 impl Rdu {
     /// Create an RDU model with explicit hardware/compiler parameters.
     #[must_use]
     pub fn new(spec: RduSpec, params: RduCompilerParams, mode: CompilationMode) -> Self {
-        Self { spec, params, mode }
+        let cache_key = dabench_core::CacheKey::of_token(&cache_token_of(mode, &spec, &params));
+        Self {
+            spec,
+            params,
+            mode,
+            cache_key,
+        }
     }
 
     /// Default SN30 hardware with the given compilation mode.

@@ -138,12 +138,11 @@ impl Platform for Rdu {
 
 impl Memoizable for Rdu {
     fn cache_token(&self) -> String {
-        format!(
-            "rdu|{:?}|{:?}|{:?}",
-            self.mode(),
-            self.rdu_spec(),
-            self.compiler_params()
-        )
+        crate::cache_token_of(self.mode(), self.rdu_spec(), self.compiler_params())
+    }
+
+    fn cache_key(&self) -> dabench_core::CacheKey {
+        self.cache_key
     }
 }
 

@@ -136,6 +136,62 @@ fn weight_state_bytes(params: u64, precision: Precision) -> f64 {
     (params as f64) * (2.0 * precision.bytes_per_element() as f64 + 8.0)
 }
 
+/// Everything about a compilation that does not depend on the PE budget:
+/// the kernel list, per-kernel caps/floors/names and the per-kernel memory
+/// constants. Computed once per [`compile`] call and reused across the
+/// budget-shrink retry attempts, which otherwise re-derived the kernel list
+/// (an `step_ops` walk plus an O(ops × kernels) match) from scratch on
+/// every shrink step.
+struct CompilePlan {
+    kernels: Vec<Kernel>,
+    names: Vec<String>,
+    caps: Vec<u64>,
+    floors: Vec<u64>,
+    floor_total: u64,
+    /// `weight_state_bytes(k.params, precision)` per kernel.
+    weight_state: Vec<f64>,
+    /// `k.stored_act_elems / batch * elem` per kernel.
+    act_per_item: Vec<f64>,
+    config_per_pe: f64,
+}
+
+fn plan_of(params: &WseCompilerParams, workload: &TrainingWorkload) -> CompilePlan {
+    let kernels = kernels_of(workload);
+    let n_kernels = kernels.len() as f64;
+    let precision = workload.precision();
+    let batch = workload.batch_size() as f64;
+    let elem = precision.bytes_per_element() as f64;
+
+    let names: Vec<String> = kernels.iter().map(Kernel::name).collect();
+    let caps: Vec<u64> = kernels.iter().map(|k| cap_pes(k, params)).collect();
+    let floors: Vec<u64> = kernels
+        .iter()
+        .map(|k| floor_pes(k, params, precision))
+        .collect();
+    let floor_total: u64 = floors.iter().sum();
+    let weight_state: Vec<f64> = kernels
+        .iter()
+        .map(|k| weight_state_bytes(k.params, precision))
+        .collect();
+    let act_per_item: Vec<f64> = kernels
+        .iter()
+        .map(|k| k.stored_act_elems as f64 / batch * elem)
+        .collect();
+    let config_per_pe =
+        params.config_base_bytes + params.config_quadratic_bytes * n_kernels * n_kernels;
+
+    CompilePlan {
+        kernels,
+        names,
+        caps,
+        floors,
+        floor_total,
+        weight_state,
+        act_per_item,
+        config_per_pe,
+    }
+}
+
 fn cap_pes(k: &Kernel, p: &WseCompilerParams) -> u64 {
     let flops_cap = k.flops_per_token / p.gemm_flops_per_token_per_pe;
     let cap = match k.kind {
@@ -169,12 +225,13 @@ pub fn compile(
     obs::span(obs::Phase::Compile, "wse.compile", || {
         let default_budget = (params.usable_grid_fraction * spec.pe_count() as f64).floor() as u64;
         let mut budget = budget_pes.unwrap_or(default_budget).min(default_budget);
+        let plan = plan_of(params, workload);
         // Placement can fail on strip-width rounding when the grid is nearly
         // full; the compiler retries with a slightly smaller budget, which is
         // also what produces the small allocation jitter of Table I's plateau.
         let mut last_err = None;
         for attempt in 0..8 {
-            match compile_with_budget(spec, params, workload, budget) {
+            match compile_with_plan(spec, params, &plan, budget) {
                 Err(PlatformError::CompileFailure(msg)) if msg.contains("grid width") => {
                     last_err = Some(PlatformError::CompileFailure(msg));
                     budget = (budget as f64 * 0.98) as u64;
@@ -196,25 +253,26 @@ pub fn compile(
     })
 }
 
-fn compile_with_budget(
+fn compile_with_plan(
     spec: &WseSpec,
     params: &WseCompilerParams,
-    workload: &TrainingWorkload,
+    plan: &CompilePlan,
     budget: u64,
 ) -> Result<WseCompilation, PlatformError> {
-    let kernels = kernels_of(workload);
-    let n_kernels = kernels.len() as f64;
-    let precision = workload.precision();
+    let CompilePlan {
+        kernels,
+        names,
+        caps,
+        floors,
+        floor_total,
+        weight_state,
+        act_per_item,
+        config_per_pe,
+    } = plan;
+    let (floor_total, config_per_pe) = (*floor_total, *config_per_pe);
     // The budget covers computation + transmission PEs.
     let comp_budget = budget as f64 / (1.0 + params.transmission_ratio);
 
-    let caps: Vec<u64> = kernels.iter().map(|k| cap_pes(k, params)).collect();
-    let floors: Vec<u64> = kernels
-        .iter()
-        .map(|k| floor_pes(k, params, precision))
-        .collect();
-
-    let floor_total: u64 = floors.iter().sum();
     if (floor_total as f64) > comp_budget {
         return Err(PlatformError::CompileFailure(format!(
             "weight floors need {floor_total} computation PEs, budget is {comp_budget:.0}; \
@@ -268,11 +326,12 @@ fn compile_with_budget(
         .map(|&c| (c as f64 * params.transmission_ratio).round() as u64)
         .collect();
 
-    // Placement: full-height strips in pipeline order.
-    let regions: Vec<(String, u64)> = kernels
+    // Placement: full-height strips in pipeline order. Names are borrowed
+    // from the plan — no per-attempt String clones.
+    let regions: Vec<(&str, u64)> = names
         .iter()
         .zip(comp.iter().zip(&trans))
-        .map(|(k, (&c, &t))| (k.name(), c + t))
+        .map(|(name, (&c, &t))| (name.as_str(), c + t))
         .collect();
     let placement = dabench_core::obs::span(dabench_core::obs::Phase::Place, "wse.place", || {
         Placement::strips(&regions, spec.grid_rows, spec.grid_cols)
@@ -280,10 +339,6 @@ fn compile_with_budget(
     .ok_or_else(|| PlatformError::CompileFailure("kernel strips exceed grid width".to_owned()))?;
 
     // Per-PE memory layout and pressure factors.
-    let config_per_pe =
-        params.config_base_bytes + params.config_quadratic_bytes * n_kernels * n_kernels;
-    let batch = workload.batch_size() as f64;
-    let elem = precision.bytes_per_element() as f64;
     let sram = spec.sram_per_pe_bytes as f64;
 
     let mut compiled = Vec::with_capacity(kernels.len());
@@ -291,9 +346,8 @@ fn compile_with_budget(
     let mut total_training = 0.0f64;
     for (i, k) in kernels.iter().enumerate() {
         let c = comp[i] as f64;
-        let weight_per_pe = weight_state_bytes(k.params, precision) / c;
-        let act_per_item = k.stored_act_elems as f64 / batch * elem;
-        let act_per_pe = act_per_item * params.activation_residency_factor / c;
+        let weight_per_pe = weight_state[i] / c;
+        let act_per_pe = act_per_item[i] * params.activation_residency_factor / c;
         let total = config_per_pe + weight_per_pe + act_per_pe + params.runtime_reserved_bytes;
         worst_pe_bytes = worst_pe_bytes.max(total);
         total_training += (weight_per_pe + act_per_pe) * c;

@@ -60,17 +60,35 @@ pub use streaming::{streaming_schedule, try_streaming_schedule, StreamedLayer, S
 ///
 /// Construct with [`Wse::default`] for the data-sheet configuration, or
 /// [`Wse::new`] to probe hypothetical chips.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Wse {
     spec: WseSpec,
     params: WseCompilerParams,
+    // Precomputed at construction so memo-cache lookups allocate nothing
+    // (see `Memoizable::cache_key` and docs/benchmarking.md).
+    cache_key: dabench_core::CacheKey,
+}
+
+impl Default for Wse {
+    fn default() -> Self {
+        Self::new(WseSpec::default(), WseCompilerParams::default())
+    }
+}
+
+pub(crate) fn cache_token_of(spec: &WseSpec, params: &WseCompilerParams) -> String {
+    format!("wse|{spec:?}|{params:?}")
 }
 
 impl Wse {
     /// Create a WSE model with explicit hardware and compiler parameters.
     #[must_use]
     pub fn new(spec: WseSpec, params: WseCompilerParams) -> Self {
-        Self { spec, params }
+        let cache_key = dabench_core::CacheKey::of_token(&cache_token_of(&spec, &params));
+        Self {
+            spec,
+            params,
+            cache_key,
+        }
     }
 
     /// Hardware description in use.

@@ -57,9 +57,17 @@ pub struct Placement {
 impl Placement {
     /// Place `regions` (name, PE count) as adjacent full-height strips.
     ///
+    /// Generic over the name type so the compiler's retry loop can pass
+    /// borrowed names from a precomputed plan without cloning a `String`
+    /// per kernel per attempt.
+    ///
     /// Returns `None` when the strips do not fit horizontally.
     #[must_use]
-    pub fn strips(regions: &[(String, u64)], grid_rows: u64, grid_cols: u64) -> Option<Self> {
+    pub fn strips<S: AsRef<str>>(
+        regions: &[(S, u64)],
+        grid_rows: u64,
+        grid_cols: u64,
+    ) -> Option<Self> {
         assert!(grid_rows > 0 && grid_cols > 0, "grid must be non-empty");
         let mut rects = Vec::with_capacity(regions.len());
         let mut col = 0u64;
@@ -69,7 +77,7 @@ impl Placement {
                 return None;
             }
             rects.push(PlacedRect {
-                name: name.clone(),
+                name: name.as_ref().to_owned(),
                 col,
                 width,
                 rows: grid_rows,
@@ -93,8 +101,8 @@ impl Placement {
     /// interval, so fragmentation can make an otherwise-fitting layout
     /// fail. Returns `None` when the healthy runs cannot host every strip.
     #[must_use]
-    pub fn strips_avoiding(
-        regions: &[(String, u64)],
+    pub fn strips_avoiding<S: AsRef<str>>(
+        regions: &[(S, u64)],
         grid_rows: u64,
         grid_cols: u64,
         dead_intervals: &[(u64, u64)],
@@ -116,7 +124,7 @@ impl Placement {
                 col = runs.get(run_idx)?.0;
             }
             rects.push(PlacedRect {
-                name: name.clone(),
+                name: name.as_ref().to_owned(),
                 col,
                 width,
                 rows: grid_rows,

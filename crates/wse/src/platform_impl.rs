@@ -65,7 +65,11 @@ impl Platform for Wse {
 
 impl Memoizable for Wse {
     fn cache_token(&self) -> String {
-        format!("wse|{:?}|{:?}", self.wse_spec(), self.compiler_params())
+        crate::cache_token_of(self.wse_spec(), self.compiler_params())
+    }
+
+    fn cache_key(&self) -> dabench_core::CacheKey {
+        self.cache_key
     }
 }
 
