@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""TCP client driving the `dabench serve` CI job (.github/workflows/ci.yml).
+
+The daemon speaks one flat JSON object per line (protocol
+dabench-serve-v1, string values only), so the stock json module parses
+every reply. Three modes mirror the job's steps:
+
+  smoke ADDR REF_TABLE1          ping, execute, cache hit, shed, drain
+  crash-phase1 ADDR REF_TABLE1   complete table1, leave fig10 in flight
+  crash-phase2 ADDR REF_TABLE1 REF_FIG10
+                                 after --resume: byte-identical replay,
+                                 adopted job finished, drain
+
+Exit code 0 means every assertion held; any failure raises and exits
+nonzero so the CI step fails loudly.
+"""
+
+import json
+import socket
+import sys
+import threading
+import time
+
+TIMEOUT_S = 120.0
+
+
+def request(addr, obj, timeout=TIMEOUT_S):
+    """One request, one reply, on a fresh connection."""
+    host, port = addr.rsplit(":", 1)
+    with socket.create_connection((host, int(port)), timeout=timeout) as sock:
+        sock.sendall((json.dumps(obj) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf.decode())
+
+
+def submit(addr, job, rid, timeout=TIMEOUT_S):
+    return request(addr, {"op": "submit", "id": rid, "job": job}, timeout)
+
+
+def fire_and_forget_submit(addr, job, rid):
+    """Send a submit and keep the connection open without reading the
+    reply, from a daemon thread — used to park a job on the daemon."""
+
+    def run():
+        host, port = addr.rsplit(":", 1)
+        sock = socket.create_connection((host, int(port)), timeout=TIMEOUT_S)
+        sock.sendall(
+            (json.dumps({"op": "submit", "id": rid, "job": job}) + "\n").encode()
+        )
+        try:
+            sock.recv(4096)  # reply or EOF; either way the job was admitted
+        except OSError:
+            pass
+
+    t = threading.Thread(target=run, daemon=True)
+    t.start()
+    return t
+
+
+def poll_stats(addr, predicate, what, deadline_s=30.0):
+    start = time.monotonic()
+    while True:
+        stats = request(addr, {"op": "stats", "id": "poll"})
+        if predicate(stats):
+            return stats
+        if time.monotonic() - start > deadline_s:
+            raise AssertionError(f"timed out waiting for {what}: {stats}")
+        time.sleep(0.02)
+
+
+def expect(cond, msg, reply):
+    if not cond:
+        raise AssertionError(f"{msg}: {reply}")
+
+
+def read_ref(path):
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def smoke(addr, ref_table1):
+    # Daemon runs with --workers 1 --queue 1 and fig6/fig10 sleeping 2 s
+    # via DABENCH_INJECT, so the queue saturates on demand.
+    pong = request(addr, {"op": "ping", "id": "0"})
+    expect(pong.get("status") == "ok", "ping failed", pong)
+    expect(pong.get("protocol") == "dabench-serve-v1", "wrong protocol", pong)
+
+    first = submit(addr, "table1", "1")
+    expect(first.get("status") == "ok", "table1 failed", first)
+    expect(first.get("source") == "executed", "expected a cold execution", first)
+    expect(first.get("data") == read_ref(ref_table1), "table1 bytes differ", first)
+
+    second = submit(addr, "table1", "2")
+    expect(second.get("source") == "cache", "expected a cache hit", second)
+    expect(second.get("data") == first.get("data"), "cache changed the bytes", second)
+
+    # Park fig6 in the single worker, fill the one queue slot with
+    # fig10, then a third submit must shed fast instead of blocking.
+    fire_and_forget_submit(addr, "fig6", "3")
+    poll_stats(
+        addr,
+        lambda s: s.get("accepted") == "2" and s.get("queued") == "0",
+        "fig6 in flight",
+    )
+    fire_and_forget_submit(addr, "fig10", "4")
+    poll_stats(addr, lambda s: s.get("queued") == "1", "fig10 queued")
+
+    start = time.monotonic()
+    shed = submit(addr, "fig12", "5")
+    elapsed = time.monotonic() - start
+    expect(shed.get("status") == "shed", "expected a shed", shed)
+    expect(shed.get("reason") == "queue full", "wrong shed reason", shed)
+    expect("retry_after_ms" in shed, "shed without a retry hint", shed)
+    expect(elapsed < 2.0, f"shed took {elapsed:.2f}s, admission blocked", shed)
+
+    # Cache hits keep flowing while the queue is saturated.
+    cached = submit(addr, "table1", "6")
+    expect(cached.get("source") == "cache", "saturation starved the cache", cached)
+
+    bad = submit(addr, "not-a-job", "7")
+    expect(bad.get("status") == "error", "unknown job accepted", bad)
+
+    stats = poll_stats(
+        addr, lambda s: s.get("completed") == "3", "fig6/fig10 to finish"
+    )
+    expect(int(stats.get("cache_hits", "0")) >= 2, "no cache hits counted", stats)
+    expect(stats.get("shed") == "1", "shed not counted", stats)
+
+    done = request(addr, {"op": "drain", "id": "8"})
+    expect(done.get("draining") == "true", "drain refused", done)
+    print("smoke ok")
+
+
+def crash_phase1(addr, ref_table1):
+    first = submit(addr, "table1", "1")
+    expect(first.get("status") == "ok", "table1 failed", first)
+    expect(first.get("data") == read_ref(ref_table1), "table1 bytes differ", first)
+
+    # fig10 sleeps 300 s under DABENCH_INJECT; once stats show it
+    # admitted and in flight it is journaled `accepted`, and the
+    # workflow SIGKILLs the daemon on top of it.
+    fire_and_forget_submit(addr, "fig10", "2")
+    poll_stats(
+        addr,
+        lambda s: s.get("accepted") == "2" and s.get("queued") == "0",
+        "fig10 in flight",
+    )
+    print("crash-phase1 ok: table1 journaled, fig10 in flight")
+
+
+def crash_phase2(addr, ref_table1, ref_fig10):
+    # Completed work replays from the journal, byte-identically, without
+    # re-execution.
+    replayed = submit(addr, "table1", "1")
+    expect(replayed.get("status") == "ok", "replay failed", replayed)
+    expect(replayed.get("source") == "cache", "replay re-executed", replayed)
+    expect(
+        replayed.get("data") == read_ref(ref_table1), "replay bytes differ", replayed
+    )
+
+    # The orphaned fig10 was re-adopted; wait for it, then check the
+    # re-run produced the reference bytes.
+    poll_stats(addr, lambda s: s.get("adopted") == "1", "fig10 adoption", 60.0)
+    adopted = submit(addr, "fig10", "2")
+    expect(adopted.get("status") == "ok", "adopted job failed", adopted)
+    expect(adopted.get("data") == read_ref(ref_fig10), "fig10 bytes differ", adopted)
+
+    done = request(addr, {"op": "drain", "id": "3"})
+    expect(done.get("draining") == "true", "drain refused", done)
+    print("crash-phase2 ok: byte-identical replay, adopted job finished")
+
+
+def main():
+    mode, addr = sys.argv[1], sys.argv[2]
+    if mode == "smoke":
+        smoke(addr, sys.argv[3])
+    elif mode == "crash-phase1":
+        crash_phase1(addr, sys.argv[3])
+    elif mode == "crash-phase2":
+        crash_phase2(addr, sys.argv[3], sys.argv[4])
+    else:
+        sys.exit(f"unknown mode {mode!r}")
+
+
+if __name__ == "__main__":
+    main()

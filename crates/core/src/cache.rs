@@ -14,6 +14,15 @@
 //! compilation mode). Keying on the full configuration — not just the
 //! platform name — keeps sensitivity sweeps (which mutate specs) safe.
 //!
+//! # Storage
+//!
+//! Results live in a process-wide, size-bounded, concurrency-safe
+//! [`LruStore`] ([`TIER1_CACHE_CAPACITY`] entries), shared by the CLI's
+//! one-shot sweeps and the long-running `dabench serve` daemon (see
+//! [`crate::serve`]); a daemon serving unbounded request streams must not
+//! grow the cache without bound, so cold entries are evicted
+//! least-recently-used first and [`CacheStats::evictions`] counts them.
+//!
 //! # Key representation
 //!
 //! The lookup key is `(CacheKey, TrainingWorkload)`: the configuration
@@ -27,13 +36,12 @@
 //! constructs, a 128-bit collision is not a realistic concern.
 
 use crate::error::PlatformError;
+use crate::lru::LruStore;
 use crate::platform::Platform;
 use crate::report::Tier1Report;
 use crate::tier1;
 use dabench_model::TrainingWorkload;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -88,24 +96,29 @@ pub trait Memoizable: Platform {
     }
 }
 
-/// Hit/miss counters of the process-wide Tier-1 cache.
+/// Hit/miss/eviction counters of the process-wide Tier-1 cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that fell through to a cold profile.
     pub misses: u64,
+    /// Entries displaced to keep the cache within [`TIER1_CACHE_CAPACITY`].
+    pub evictions: u64,
 }
 
-type Store =
-    Mutex<HashMap<CacheKey, HashMap<TrainingWorkload, Result<Tier1Report, PlatformError>>>>;
+/// Capacity bound of the process-wide Tier-1 cache, in entries. Large
+/// enough that a full `dabench all` sweep never evicts (the paper suite
+/// touches a few hundred distinct `(configuration, workload)` pairs),
+/// small enough that a long-running daemon cannot grow without bound.
+pub const TIER1_CACHE_CAPACITY: usize = 4096;
+
+type Store = LruStore<(CacheKey, TrainingWorkload), Result<Tier1Report, PlatformError>>;
 
 static CACHE: OnceLock<Store> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
 
 fn store() -> &'static Store {
-    CACHE.get_or_init(Store::default)
+    CACHE.get_or_init(|| LruStore::new(TIER1_CACHE_CAPACITY))
 }
 
 /// [`tier1::run`], memoized on `(cache key, workload)`.
@@ -137,39 +150,30 @@ pub fn tier1_cached<P: Memoizable>(
     if crate::obs::is_enabled() {
         return tier1::run(platform, workload);
     }
-    let key = platform.cache_key();
-    if let Some(cached) = store()
-        .lock()
-        .expect("cache lock")
-        .get(&key)
-        .and_then(|per_workload| per_workload.get(workload))
-    {
-        HITS.fetch_add(1, Ordering::Relaxed);
-        return cached.clone();
+    let key = (platform.cache_key(), workload.clone());
+    if let Some(cached) = store().get(&key) {
+        return cached;
     }
-    MISSES.fetch_add(1, Ordering::Relaxed);
     let result = tier1::run(platform, workload);
-    store()
-        .lock()
-        .expect("cache lock")
-        .entry(key)
-        .or_default()
-        .insert(workload.clone(), result.clone());
+    store().insert(key, result.clone());
     result
 }
 
-/// Current hit/miss counters (process-wide, across all platforms).
+/// Current hit/miss/eviction counters (process-wide, across all
+/// platforms).
 #[must_use]
 pub fn cache_stats() -> CacheStats {
+    let stats = store().stats();
     CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+        hits: stats.hits,
+        misses: stats.misses,
+        evictions: stats.evictions,
     }
 }
 
 /// Drop every cached result (counters are left running).
 pub fn clear_tier1_cache() {
-    store().lock().expect("cache lock").clear();
+    store().clear();
 }
 
 #[cfg(test)]
@@ -177,7 +181,7 @@ mod tests {
     use super::*;
     use crate::platform::{ChipProfile, ComputeUnitSpec, HardwareSpec, TaskProfile};
     use dabench_model::{ModelConfig, Precision};
-    use std::sync::atomic::AtomicU64 as ProfileCounter;
+    use std::sync::atomic::{AtomicU64 as ProfileCounter, Ordering};
 
     static PROFILES: ProfileCounter = ProfileCounter::new(0);
 

@@ -20,6 +20,10 @@
 //!   logical timestamps, deterministic under [`par_map`], exported as
 //!   Chrome `trace_event` JSON and per-phase counter tables (see
 //!   `docs/observability.md`).
+//! - **Benchmark-as-a-service** ([`serve`]): a zero-dependency daemon
+//!   speaking JSONL over TCP, with bounded-queue admission control,
+//!   structured load shedding, a shared [`lru`] result store, graceful
+//!   drain, and journal-backed crash-safe resume (see `docs/serve.md`).
 //!
 //! Chips plug in by implementing the [`Platform`] trait (and optionally
 //! [`Scalable`]); the framework then derives every metric from the
@@ -46,12 +50,15 @@ pub mod bench;
 pub mod cache;
 mod error;
 pub mod faults;
+pub mod jsonl;
+pub mod lru;
 pub mod metrics;
 pub mod obs;
 pub mod parallel;
 mod platform;
 mod report;
 pub mod rng;
+pub mod serve;
 pub mod supervise;
 pub mod tier1;
 pub mod tier2;
@@ -62,6 +69,7 @@ pub use bench::{
 pub use cache::{cache_stats, tier1_cached, CacheKey, CacheStats, Memoizable};
 pub use error::PlatformError;
 pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultKind, FaultSet, RecoveryCost};
+pub use lru::{LruStore, StoreStats};
 pub use obs::{Phase, PointTrace, Recorder};
 pub use parallel::{jobs, par_map, par_map_with, set_jobs};
 pub use platform::{
@@ -72,7 +80,8 @@ pub use report::{
     batch_saturation_point, BatchPoint, BoundKind, PrecisionPoint, Tier1Report, Tier2Report,
 };
 pub use rng::SplitMix64;
+pub use serve::{JobExecutor, ServeConfig, ServeSummary, Server, PROTOCOL as SERVE_PROTOCOL};
 pub use supervise::{
-    catch_labeled, supervise_point, with_point_label, PointOutcome, Replay, RunJournal, RunReport,
-    SupervisePolicy,
+    catch_labeled, parse_injections, supervise_point, with_point_label, InjectedErrorKind,
+    Injection, PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy,
 };

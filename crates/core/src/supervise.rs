@@ -29,10 +29,10 @@
 //! across runs.
 
 use crate::error::PlatformError;
+use crate::jsonl;
 use crate::rng::SplitMix64;
 use std::any::Any;
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Seek as _, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -251,6 +251,193 @@ where
 }
 
 // ---------------------------------------------------------------------------
+// Failure injection (test hook)
+// ---------------------------------------------------------------------------
+
+/// Environment variable carrying failure-injection clauses.
+pub const INJECT_ENV: &str = "DABENCH_INJECT";
+
+/// Which [`PlatformError`] an `err:KIND` injection raises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedErrorKind {
+    /// A transient device flake — retryable.
+    DeviceFault,
+    /// A compiler-service hiccup — retryable.
+    CompileFailure,
+    /// A deterministic capacity overflow — not retryable.
+    OutOfMemory,
+    /// A deterministic configuration rejection — not retryable.
+    Unsupported,
+}
+
+impl InjectedErrorKind {
+    fn parse(kind: &str) -> Option<Self> {
+        Some(match kind {
+            "device_fault" => InjectedErrorKind::DeviceFault,
+            "compile_failure" => InjectedErrorKind::CompileFailure,
+            "oom" => InjectedErrorKind::OutOfMemory,
+            "unsupported" => InjectedErrorKind::Unsupported,
+            _ => return None,
+        })
+    }
+
+    /// The injected error, labelled so reports clearly show it came from
+    /// the test hook and not from a platform model.
+    #[must_use]
+    pub fn to_error(self) -> PlatformError {
+        match self {
+            InjectedErrorKind::DeviceFault => PlatformError::DeviceFault {
+                unit: "injected".into(),
+                detail: "transient fault (DABENCH_INJECT)".into(),
+            },
+            InjectedErrorKind::CompileFailure => {
+                PlatformError::CompileFailure("injected compile failure (DABENCH_INJECT)".into())
+            }
+            InjectedErrorKind::OutOfMemory => PlatformError::OutOfMemory {
+                level: "injected".into(),
+                required_bytes: 2,
+                capacity_bytes: 1,
+            },
+            InjectedErrorKind::Unsupported => PlatformError::Unsupported(
+                "injected unsupported configuration (DABENCH_INJECT)".into(),
+            ),
+        }
+    }
+}
+
+/// Test-only failure injection, from the [`INJECT_ENV`] env var: a
+/// comma-separated list of `<point>=panic`, `<point>=sleep:SECS`, or
+/// `<point>=err:KIND[:N]` clauses. Lets integration tests and the CI
+/// crash-recovery jobs exercise panic isolation, deadlines, retryable
+/// error paths, and mid-run kills without planting bugs in the
+/// experiments themselves.
+///
+/// `err:KIND` raises the corresponding [`PlatformError`] on **every**
+/// attempt; `err:KIND:N` raises it on the first `N` attempts only, so
+/// retry-to-success is testable end-to-end (`err:device_fault:2` with
+/// `--max-retries 2` succeeds on the third attempt). Kinds:
+/// `device_fault`, `compile_failure` (retryable), `oom`, `unsupported`
+/// (not retryable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Injection {
+    /// Panic on every attempt.
+    Panic,
+    /// Sleep for the given seconds on every attempt (deadline / kill
+    /// window testing).
+    SleepSecs(f64),
+    /// Raise a [`PlatformError`] on the first `failures` attempts
+    /// (`u32::MAX` = every attempt).
+    Err {
+        /// Which error to raise.
+        kind: InjectedErrorKind,
+        /// How many leading attempts fail before the injection clears.
+        failures: u32,
+    },
+}
+
+impl Injection {
+    /// Act on this injection for 0-based attempt number `attempt`:
+    /// panic, sleep, or return the injected error.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`PlatformError`] while `attempt < failures`.
+    ///
+    /// # Panics
+    ///
+    /// [`Injection::Panic`] panics with a message naming the hook.
+    pub fn fire(&self, attempt: u32) -> Result<(), PlatformError> {
+        match *self {
+            Injection::Panic => panic!("injected failure (DABENCH_INJECT)"),
+            Injection::SleepSecs(s) => {
+                std::thread::sleep(Duration::from_secs_f64(s));
+                Ok(())
+            }
+            Injection::Err { kind, failures } => {
+                if attempt < failures {
+                    Err(kind.to_error())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// [`Injection::fire`] with the attempt number taken from (and
+    /// advanced in) `attempts` — the natural shape inside a retried
+    /// [`supervise_point`] closure.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`PlatformError`], as for [`Injection::fire`].
+    pub fn fire_counted(
+        &self,
+        attempts: &std::sync::atomic::AtomicU32,
+    ) -> Result<(), PlatformError> {
+        let attempt = attempts.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        self.fire(attempt)
+    }
+}
+
+/// Parse one `DABENCH_INJECT` clause list (see [`Injection`]).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending clause.
+pub fn parse_injection_clauses(raw: &str) -> Result<BTreeMap<String, Injection>, String> {
+    let mut map = BTreeMap::new();
+    for clause in raw.split(',').filter(|c| !c.trim().is_empty()) {
+        let (name, action) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("DABENCH_INJECT `{clause}`: expected name=action"))?;
+        let injection = if action == "panic" {
+            Injection::Panic
+        } else if let Some(secs) = action.strip_prefix("sleep:") {
+            Injection::SleepSecs(
+                secs.parse()
+                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+            )
+        } else if let Some(spec) = action.strip_prefix("err:") {
+            let (kind, failures) = match spec.split_once(':') {
+                Some((kind, count)) => (
+                    kind,
+                    count
+                        .parse::<u32>()
+                        .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+                ),
+                None => (spec, u32::MAX),
+            };
+            let kind = InjectedErrorKind::parse(kind).ok_or_else(|| {
+                format!(
+                    "DABENCH_INJECT `{clause}`: unknown error kind `{kind}` \
+                     (expected device_fault, compile_failure, oom, or unsupported)"
+                )
+            })?;
+            Injection::Err { kind, failures }
+        } else {
+            return Err(format!(
+                "DABENCH_INJECT `{clause}`: expected panic, sleep:SECS, or err:KIND[:N]"
+            ));
+        };
+        map.insert(name.trim().to_owned(), injection);
+    }
+    Ok(map)
+}
+
+/// Read and parse the [`INJECT_ENV`] environment variable (empty map when
+/// unset).
+///
+/// # Errors
+///
+/// As for [`parse_injection_clauses`].
+pub fn parse_injections() -> Result<BTreeMap<String, Injection>, String> {
+    match std::env::var(INJECT_ENV) {
+        Ok(raw) => parse_injection_clauses(&raw),
+        Err(_) => Ok(BTreeMap::new()),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Journal
 // ---------------------------------------------------------------------------
 
@@ -260,94 +447,15 @@ pub const JOURNAL_SCHEMA: &str = "dabench-journal-v1";
 pub const JOURNAL_FILE: &str = "journal.jsonl";
 
 pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+    jsonl::escape(s)
 }
 
-/// Parse one journal line — a flat JSON object with string values only.
-/// Returns `None` on any syntactic deviation (the caller decides whether
-/// that is a truncated tail or corruption).
+/// Parse one journal line — a flat JSON object with string values only
+/// (the shared [`jsonl`] dialect). Returns `None` on any syntactic
+/// deviation (the caller decides whether that is a truncated tail or
+/// corruption).
 fn parse_journal_line(line: &str) -> Option<BTreeMap<String, String>> {
-    let mut chars = line.trim().chars().peekable();
-    let mut fields = BTreeMap::new();
-
-    fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
-        if chars.next()? != '"' {
-            return None;
-        }
-        let mut out = String::new();
-        loop {
-            match chars.next()? {
-                '"' => return Some(out),
-                '\\' => match chars.next()? {
-                    '"' => out.push('"'),
-                    '\\' => out.push('\\'),
-                    '/' => out.push('/'),
-                    'n' => out.push('\n'),
-                    'r' => out.push('\r'),
-                    't' => out.push('\t'),
-                    'u' => {
-                        let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
-                        let code = u32::from_str_radix(&hex, 16).ok()?;
-                        out.push(char::from_u32(code)?);
-                    }
-                    _ => return None,
-                },
-                c => out.push(c),
-            }
-        }
-    }
-
-    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
-        while chars.peek().is_some_and(|c| c.is_whitespace()) {
-            chars.next();
-        }
-    }
-
-    if chars.next()? != '{' {
-        return None;
-    }
-    loop {
-        skip_ws(&mut chars);
-        match chars.peek()? {
-            '}' => {
-                chars.next();
-                break;
-            }
-            ',' => {
-                chars.next();
-                continue;
-            }
-            _ => {
-                let key = parse_string(&mut chars)?;
-                skip_ws(&mut chars);
-                if chars.next()? != ':' {
-                    return None;
-                }
-                skip_ws(&mut chars);
-                let value = parse_string(&mut chars)?;
-                fields.insert(key, value);
-            }
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return None; // trailing garbage after the object
-    }
-    Some(fields)
+    jsonl::parse_object(line)
 }
 
 /// What replaying a journal found.
@@ -364,6 +472,37 @@ pub struct Replay {
     /// expected residue of a `SIGKILL` mid-append). The journal file is
     /// healed — truncated back to its last valid line — before reuse.
     pub dropped_tail: Option<String>,
+}
+
+impl Replay {
+    /// Labels with journal records but no completed rendering — the
+    /// points a resumed run re-adopts (deduplicated, sorted).
+    #[must_use]
+    pub fn adopted_labels(&self) -> Vec<String> {
+        let mut adopted: Vec<String> = self
+            .unfinished
+            .iter()
+            .filter(|l| !self.completed.contains_key(*l))
+            .cloned()
+            .collect();
+        adopted.sort();
+        adopted.dedup();
+        adopted
+    }
+
+    /// One-line summary of what resuming this journal found, for stderr:
+    /// how many points replay verbatim, how many are re-adopted and
+    /// re-run, and whether a truncated record was abandoned. Partial
+    /// recoveries must be visible, never silent.
+    #[must_use]
+    pub fn resume_summary(&self) -> String {
+        format!(
+            "resume: {} replayed from journal, {} adopted (re-run), {} abandoned (truncated tail)",
+            self.completed.len(),
+            self.adopted_labels().len(),
+            usize::from(self.dropped_tail.is_some()),
+        )
+    }
 }
 
 /// Append-only, fsync-on-append run journal (`journal.jsonl` inside a run
@@ -441,7 +580,7 @@ impl RunJournal {
         let mut replay = Replay::default();
         let mut valid_bytes = 0usize;
         let mut line_no = 0usize;
-        let mut invalid: Option<(usize, String)> = None;
+        let mut invalid: Option<(usize, usize, String)> = None;
         let mut rest = contents.as_str();
         while !rest.is_empty() {
             let (line, consumed, complete) = match rest.find('\n') {
@@ -483,24 +622,27 @@ impl RunJournal {
                     valid_bytes += consumed;
                 }
                 Some(_) | None if invalid.is_none() => {
-                    invalid = Some((line_no, line.to_owned()));
+                    invalid = Some((line_no, valid_bytes, line.to_owned()));
                 }
                 _ => {
                     // A second line after an invalid one: mid-file corruption.
-                    let (bad_line, bad_text) = invalid.expect("recorded invalid line");
+                    let (bad_line, bad_offset, bad_text) = invalid.expect("recorded invalid line");
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!(
-                            "{}: corrupt journal line {bad_line} ({bad_text:?}) is followed by \
-                             more records; refusing to resume past possible lost work",
-                            path.display()
+                            "{}: corrupt journal record at line {bad_line}, byte offset \
+                             {bad_offset} ({} bytes, hex {}) is followed by more records; \
+                             refusing to resume past possible lost work",
+                            path.display(),
+                            bad_text.len(),
+                            jsonl::hex_snippet(&bad_text, 24),
                         ),
                     ));
                 }
             }
             rest = &rest[consumed..];
         }
-        if let Some((_, tail)) = invalid {
+        if let Some((_, _, tail)) = invalid {
             replay.dropped_tail = Some(tail);
         }
 
@@ -885,7 +1027,57 @@ mod tests {
         );
         std::fs::write(&path, patched).unwrap();
         let err = RunJournal::resume(&dir).unwrap_err();
-        assert!(err.to_string().contains("corrupt journal line"), "{err}");
+        assert!(err.to_string().contains("corrupt journal record"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_error_names_line_offset_and_hex_snippet() {
+        let dir = temp_dir("corrupt-detail");
+        let mut journal = RunJournal::create(&dir).unwrap();
+        journal.append("table1", "completed", "T1").unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let patched = text.replacen(
+            "{\"label\":\"table1\"",
+            "garbage not json oops\n{\"label\":\"table1\"",
+            1,
+        );
+        let offset = patched.find("garbage").unwrap();
+        std::fs::write(&path, patched).unwrap();
+        let err = RunJournal::resume(&dir).unwrap_err().to_string();
+        // Pin the diagnostic format: line number, byte offset, length, and
+        // a hex snippet of the offending record.
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains(&format!("byte offset {offset}")), "{err}");
+        assert!(err.contains("(21 bytes"), "{err}");
+        assert!(
+            // "garbage not json oops" as hex
+            err.contains("hex 67 61 72 62 61 67 65 20 6e 6f 74 20 6a 73 6f 6e 20 6f 6f 70 73"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_hex_snippet_is_truncated_for_long_records() {
+        let dir = temp_dir("corrupt-long");
+        let mut journal = RunJournal::create(&dir).unwrap();
+        journal.append("table1", "completed", "T1").unwrap();
+        let path = journal.path().to_path_buf();
+        drop(journal);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let long_garbage = "X".repeat(200);
+        let patched = text.replacen(
+            "{\"label\":\"table1\"",
+            &format!("{long_garbage}\n{{\"label\":\"table1\""),
+            1,
+        );
+        std::fs::write(&path, patched).unwrap();
+        let err = RunJournal::resume(&dir).unwrap_err().to_string();
+        assert!(err.contains("(200 bytes"), "{err}");
+        assert!(err.contains('…'), "snippet must mark the cut: {err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -911,6 +1103,72 @@ mod tests {
         let err = RunJournal::resume(&dir).unwrap_err();
         assert!(err.to_string().contains("schema"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn err_injection_parses_and_fires_retryable_errors() {
+        let map = parse_injection_clauses(
+            "fig9=err:device_fault, table1=err:compile_failure:2, fig6=err:oom",
+        )
+        .unwrap();
+        assert_eq!(
+            map.get("fig9"),
+            Some(&Injection::Err {
+                kind: InjectedErrorKind::DeviceFault,
+                failures: u32::MAX
+            })
+        );
+        assert_eq!(
+            map.get("table1"),
+            Some(&Injection::Err {
+                kind: InjectedErrorKind::CompileFailure,
+                failures: 2
+            })
+        );
+        // Counted firing: fails the first 2 attempts, then clears.
+        let inj = map["table1"];
+        let err = inj.fire(0).unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        assert!(err.to_string().contains("DABENCH_INJECT"), "{err}");
+        assert!(inj.fire(1).is_err());
+        assert!(inj.fire(2).is_ok());
+        // Non-retryable kinds stay non-retryable.
+        assert!(!map["fig6"].fire(0).unwrap_err().is_retryable());
+    }
+
+    #[test]
+    fn err_injection_rejects_unknown_kinds_and_bad_counts() {
+        let err = parse_injection_clauses("fig9=err:gremlins").unwrap_err();
+        assert!(err.contains("unknown error kind"), "{err}");
+        assert!(parse_injection_clauses("fig9=err:oom:x").is_err());
+        assert!(parse_injection_clauses("fig9=explode").is_err());
+    }
+
+    #[test]
+    fn err_injection_drives_supervised_retry_to_success() {
+        let policy = SupervisePolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+            ..SupervisePolicy::default()
+        };
+        let inj = Injection::Err {
+            kind: InjectedErrorKind::DeviceFault,
+            failures: 2,
+        };
+        let attempts = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&attempts);
+        let outcome = supervise_point("flaky", 0, &policy, move |_| {
+            inj.fire_counted(&counter)?;
+            Ok(11u32)
+        });
+        assert_eq!(
+            outcome,
+            PointOutcome::Completed {
+                value: 11,
+                retries: 2
+            }
+        );
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! dabench table1|table2|table3|table4        reproduce a paper table
 //! dabench fig6|fig7|fig8|fig9|fig10|fig11|fig12   reproduce a paper figure
 //! dabench all                                everything above, supervised
+//! dabench serve                              benchmark-as-a-service daemon
 //! dabench ablations                          design-choice ablations
 //! dabench tier1 <platform> [opts]            profile one workload
 //! dabench summary [opts]                     all platforms, one workload
@@ -26,10 +27,17 @@
 //! replays to produce byte-identical output after a mid-run kill. Exit
 //! code 2 flags a run that completed with failed/panicked/timed-out
 //! points.
+//!
+//! `serve` turns the same supervised machinery into a long-running daemon
+//! speaking JSONL over TCP, with admission control, load shedding, a
+//! shared result cache, graceful drain on SIGTERM/SIGINT, and crash-safe
+//! `--resume` (see docs/serve.md).
 
 use dabench::bench_suite::run_bench;
 use dabench::core::obs;
-use dabench::core::supervise::{PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy};
+use dabench::core::supervise::{
+    parse_injections, PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy,
+};
 use dabench::core::{
     par_map, set_jobs, supervise_point, tier1, Degradable, Platform, PlatformError, PointTrace,
 };
@@ -39,6 +47,7 @@ use dabench::gpu::GpuCluster;
 use dabench::ipu::Ipu;
 use dabench::model::{ModelConfig, Precision, TrainingWorkload};
 use dabench::rdu::{CompilationMode, Rdu};
+use dabench::serve::run_serve;
 use dabench::suite::{experiment_tables, render_experiment, EXPERIMENTS};
 use dabench::wse::Wse;
 use std::process::ExitCode;
@@ -233,43 +242,6 @@ fn parse_all_opts(args: &[String]) -> Result<AllOpts, String> {
     Ok(opts)
 }
 
-/// Test-only failure injection, from the `DABENCH_INJECT` env var:
-/// a comma-separated list of `<experiment>=panic` or
-/// `<experiment>=sleep:SECS` clauses. Lets the integration tests and the
-/// crash-resume CI job exercise panic isolation, deadlines, and mid-run
-/// kills without planting bugs in the experiments themselves.
-#[derive(Debug, Clone, Copy)]
-enum Injection {
-    Panic,
-    SleepSecs(f64),
-}
-
-fn parse_injections() -> Result<std::collections::BTreeMap<String, Injection>, String> {
-    let mut map = std::collections::BTreeMap::new();
-    let Ok(raw) = std::env::var("DABENCH_INJECT") else {
-        return Ok(map);
-    };
-    for clause in raw.split(',').filter(|c| !c.trim().is_empty()) {
-        let (name, action) = clause
-            .split_once('=')
-            .ok_or_else(|| format!("DABENCH_INJECT `{clause}`: expected name=action"))?;
-        let injection = if action == "panic" {
-            Injection::Panic
-        } else if let Some(secs) = action.strip_prefix("sleep:") {
-            Injection::SleepSecs(
-                secs.parse()
-                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
-            )
-        } else {
-            return Err(format!(
-                "DABENCH_INJECT `{clause}`: expected panic or sleep:SECS"
-            ));
-        };
-        map.insert(name.trim().to_owned(), injection);
-    }
-    Ok(map)
-}
-
 /// Supervised `dabench all`: every artifact is one supervised point.
 /// Successful texts print to stdout in paper order (byte-identical to the
 /// unsupervised per-command output); the run report goes to stderr so it
@@ -298,6 +270,12 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
     };
     if let Some(tail) = &replay.dropped_tail {
         eprintln!("warning: discarded truncated journal record {tail:?}; its point will re-run");
+    }
+    if opts.resume {
+        // One-line accounting of what the journal bought us: replayed
+        // points print verbatim, adopted ones re-run, an abandoned tail
+        // was cut mid-append. Partial recovery must never be silent.
+        eprintln!("{}", replay.resume_summary());
     }
 
     // Re-seed the recorder from journaled digests so a resumed run's
@@ -328,18 +306,15 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
             };
         }
         let injection = injections.get(name).copied();
+        let attempts = std::sync::atomic::AtomicU32::new(0);
         let point = name.to_owned();
         let outcome = supervise_point(name, i as u64, &policy, move |_seed| {
             // Retry hygiene: a previous failed attempt of this point may
             // have flushed partial traces; they must not leak into the
             // output of the attempt that eventually succeeds.
             let _ = obs::drain_prefix(&[i as u64]);
-            match injection {
-                Some(Injection::Panic) => panic!("injected failure (DABENCH_INJECT)"),
-                Some(Injection::SleepSecs(s)) => {
-                    std::thread::sleep(std::time::Duration::from_secs_f64(s));
-                }
-                None => {}
+            if let Some(injection) = injection {
+                injection.fire_counted(&attempts)?;
             }
             obs::with_point(i as u64, &point, || render_experiment(&point))
                 .ok_or_else(|| PlatformError::Unsupported(format!("no renderer for `{point}`")))
@@ -423,6 +398,7 @@ fn usage() -> &'static str {
        table1 table2 table3 table4       reproduce a paper table\n\
        fig6 fig7 fig8 fig9 fig10 fig11 fig12   reproduce a paper figure\n\
        all                               every table and figure, supervised\n\
+       serve                             benchmark-as-a-service daemon (JSONL/TCP)\n\
        ablations                         design-choice ablations\n\
        sensitivity                       hardware-parameter elasticities\n\
        csv <experiment>                  emit an experiment as CSV\n\
@@ -441,6 +417,10 @@ fn usage() -> &'static str {
      \x20            --deadline-s S  wall-clock budget per point (watchdog)\n\
      \x20            --max-retries N retry transient platform errors N times\n\
      \x20            exit codes: 0 clean, 2 some points failed (see stderr report)\n\
+     serve options: --addr A:P (default 127.0.0.1:0) --workers N --queue N\n\
+     \x20              --cache N --retry-after-ms N --deadline-s S --max-retries N\n\
+     \x20              --seed N --run-dir D --resume D\n\
+     \x20              drains gracefully on SIGTERM/SIGINT or the `drain` op\n\
      faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N\n\
      bench options: --quick --list --out FILE --baseline FILE --gate PCT\n\
      \x20              --filter SUBSTR --record LABEL\n\
@@ -519,6 +499,50 @@ fn extract_jobs(args: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Graceful-shutdown flag for `serve`, set from SIGTERM/SIGINT.
+///
+/// `std` cannot install signal handlers and the workspace is
+/// dependency-free, so the binary registers a handler through the libc
+/// `signal` symbol directly — the one place in the workspace that needs
+/// `unsafe` (both library crates `forbid` it). The handler only performs
+/// an atomic store, which is async-signal-safe.
+#[cfg(unix)]
+mod shutdown {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+/// Non-Unix fallback: no signal wiring; the daemon still drains via the
+/// `drain` protocol op.
+#[cfg(not(unix))]
+mod shutdown {
+    use std::sync::atomic::AtomicBool;
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = extract_jobs(&mut args) {
@@ -541,6 +565,18 @@ fn main() -> ExitCode {
         // `all` opens one point context per experiment itself.
         match run_all(rest) {
             Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if cmd == "serve" {
+        // `serve` opens one point context for the daemon's lifetime so
+        // the store counters it publishes at drain land in `--metrics`.
+        shutdown::install();
+        let result = obs::with_point(0, "serve", || run_serve(rest, &shutdown::REQUESTED));
+        match result {
+            Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

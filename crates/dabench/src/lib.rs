@@ -24,6 +24,7 @@
 pub mod bench_suite;
 pub mod experiments;
 pub mod render;
+pub mod serve;
 pub mod suite;
 
 /// Re-export of the framework core (`dabench-core`).

@@ -113,6 +113,15 @@ fn resume_after_partial_run_is_byte_identical() {
             "{}",
             resumed.stderr
         );
+        // The one-line resume accounting: fig9's failed record makes it
+        // an adopted (re-run) point, the other ten replay verbatim.
+        assert!(
+            resumed
+                .stderr
+                .contains("resume: 10 replayed from journal, 1 adopted (re-run), 0 abandoned"),
+            "{}",
+            resumed.stderr
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
@@ -146,6 +155,11 @@ fn truncated_trailing_journal_line_is_reported_and_healed() {
         "{}",
         resumed.stderr
     );
+    assert!(
+        resumed.stderr.contains("1 abandoned (truncated tail)"),
+        "{}",
+        resumed.stderr
+    );
     assert_eq!(
         resumed.stdout, clean.stdout,
         "healed resume must still match"
@@ -176,8 +190,13 @@ fn mid_file_corruption_is_a_hard_error() {
     let resumed = run(&["all", "--resume", dir_s], None);
     assert_eq!(resumed.code, Some(1), "{}", resumed.stderr);
     assert!(
-        resumed.stderr.contains("corrupt journal line"),
+        resumed.stderr.contains("corrupt journal record at line"),
         "{}",
+        resumed.stderr
+    );
+    assert!(
+        resumed.stderr.contains("byte offset") && resumed.stderr.contains("hex"),
+        "corruption errors must locate the damage: {}",
         resumed.stderr
     );
     let _ = std::fs::remove_dir_all(&dir);
@@ -343,4 +362,56 @@ fn bad_supervision_flags_are_reported() {
     let r = run(&["all"], Some("fig9=explode"));
     assert_eq!(r.code, Some(1), "{}", r.stderr);
     assert!(r.stderr.contains("DABENCH_INJECT"), "{}", r.stderr);
+}
+
+#[test]
+fn injected_error_exhausts_retries_and_is_reported() {
+    let r = run(&["all"], Some("table1=err:device_fault"));
+    assert_eq!(r.code, Some(2), "{}", r.stderr);
+    assert!(
+        !r.stdout.contains("Table I:"),
+        "failed point printed output"
+    );
+    assert!(r.stdout.contains("Fig. 12"), "other points still rendered");
+    assert!(r.stderr.contains("1 failed"), "{}", r.stderr);
+    assert!(
+        r.stderr.contains("device fault on `injected`"),
+        "{}",
+        r.stderr
+    );
+    assert!(r.stderr.contains("DABENCH_INJECT"), "{}", r.stderr);
+}
+
+#[test]
+fn injected_error_clears_within_the_retry_budget() {
+    let clean = run(&["table1"], None);
+    assert_eq!(clean.code, Some(0), "{}", clean.stderr);
+
+    // Two injected transient faults, two retries: the third attempt
+    // succeeds and the output is byte-identical to an uninjected run.
+    let r = run(
+        &["all", "--max-retries", "2"],
+        Some("table1=err:device_fault:2"),
+    );
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert!(
+        r.stdout.starts_with(&clean.stdout),
+        "retried point must render byte-identically"
+    );
+    assert!(r.stderr.contains("11 completed"), "{}", r.stderr);
+
+    // One retry is not enough for two injected faults.
+    let short = run(
+        &["all", "--max-retries", "1"],
+        Some("table1=err:device_fault:2"),
+    );
+    assert_eq!(short.code, Some(2), "{}", short.stderr);
+    assert!(short.stderr.contains("after 1 retry"), "{}", short.stderr);
+}
+
+#[test]
+fn malformed_err_injection_clause_is_rejected() {
+    let r = run(&["all"], Some("table1=err:gremlins"));
+    assert_eq!(r.code, Some(1), "{}", r.stderr);
+    assert!(r.stderr.contains("unknown error kind"), "{}", r.stderr);
 }
