@@ -50,6 +50,7 @@ pub mod bench;
 pub mod cache;
 mod error;
 pub mod faults;
+pub mod infer;
 pub mod jsonl;
 pub mod lru;
 pub mod metrics;
@@ -69,6 +70,7 @@ pub use bench::{
 pub use cache::{cache_stats, tier1_cached, CacheKey, CacheStats, Memoizable};
 pub use error::PlatformError;
 pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultKind, FaultSet, RecoveryCost};
+pub use infer::{profile_inference, InferModel, InferenceReport};
 pub use lru::{LruStore, StoreStats};
 pub use obs::{Phase, PointTrace, Recorder};
 pub use parallel::{jobs, par_map, par_map_with, set_jobs};

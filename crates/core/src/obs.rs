@@ -55,6 +55,9 @@ pub enum Phase {
     Execute,
     /// Deriving report metrics from raw profiles (tier-1 collection).
     Collect,
+    /// Autoregressive inference profiling (prefill/decode accounting,
+    /// KV-cache placement, throughput derivation).
+    Infer,
 }
 
 impl Phase {
@@ -67,6 +70,7 @@ impl Phase {
             Phase::Partition => "partition",
             Phase::Execute => "execute",
             Phase::Collect => "collect",
+            Phase::Infer => "infer",
         }
     }
 
@@ -77,6 +81,7 @@ impl Phase {
             "partition" => Phase::Partition,
             "execute" => Phase::Execute,
             "collect" => Phase::Collect,
+            "infer" => Phase::Infer,
             _ => return None,
         })
     }

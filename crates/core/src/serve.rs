@@ -676,6 +676,16 @@ fn handle_request(shared: &Arc<Shared>, line: &str) -> String {
     }
 }
 
+/// Queue depth at which cold heavy jobs start being shed: 3/4 of capacity,
+/// rounded up. Computed as `capacity - capacity / 4`, which equals
+/// `ceil(3 * capacity / 4)` for every `usize` without the intermediate
+/// multiplication that would wrap for capacities above `usize::MAX / 4`.
+/// At capacity 1 the watermark is 1, so an idle daemon still admits both
+/// light and heavy jobs.
+fn pressure_watermark(capacity: usize) -> usize {
+    capacity - capacity / 4
+}
+
 fn handle_submit(
     shared: &Arc<Shared>,
     id: &str,
@@ -748,7 +758,7 @@ fn handle_submit(
         // Graceful degradation: above the high-watermark, cold heavy jobs
         // are shed while light jobs (and every cache hit, above) still
         // get through.
-        if depth * 4 >= shared.cfg.queue_capacity * 3 && shared.exec.is_heavy(job_key) {
+        if depth >= pressure_watermark(shared.cfg.queue_capacity) && shared.exec.is_heavy(job_key) {
             Counters::bump(&shared.counters.shed);
             return response(&[
                 ("id", id),
@@ -1092,6 +1102,50 @@ mod tests {
 
         let summary = daemon.stop();
         assert_eq!(summary.shed, 1);
+        assert_eq!(summary.completed, 2);
+    }
+
+    #[test]
+    fn pressure_watermark_is_three_quarters_rounded_up_without_overflow() {
+        // Matches the rational definition ceil(3c/4) wherever the naive
+        // `depth * 4 >= capacity * 3` comparison is computable...
+        for capacity in 1usize..=1000 {
+            let expected = (3 * capacity).div_ceil(4);
+            assert_eq!(pressure_watermark(capacity), expected, "cap={capacity}");
+        }
+        // ...and stays finite where that comparison would wrap.
+        assert_eq!(pressure_watermark(usize::MAX), usize::MAX - usize::MAX / 4);
+        assert!(pressure_watermark(usize::MAX) > usize::MAX / 2);
+    }
+
+    #[test]
+    fn capacity_one_daemon_still_admits_jobs_when_idle() {
+        // Regression: at queue_capacity 1 the watermark is 1, not 0 — an
+        // idle daemon must execute light AND heavy jobs rather than
+        // shedding everything under permanent "pressure".
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..quick_cfg()
+        };
+        let daemon = spawn_daemon(cfg, MockExec::boxed());
+        let mut client = Client::connect(daemon.addr);
+
+        let light = client.submit("l", "light-job");
+        assert_eq!(
+            light.get("status").map(String::as_str),
+            Some("ok"),
+            "{light:?}"
+        );
+        let heavy = client.submit("h", "heavy-sweep");
+        assert_eq!(
+            heavy.get("status").map(String::as_str),
+            Some("ok"),
+            "{heavy:?}"
+        );
+
+        let summary = daemon.stop();
+        assert_eq!(summary.shed, 0);
         assert_eq!(summary.completed, 2);
     }
 

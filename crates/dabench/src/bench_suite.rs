@@ -26,7 +26,7 @@ use crate::core::bench::{
 use crate::core::cache::clear_tier1_cache;
 use crate::core::{obs, tier1_cached, Memoizable, PlatformError, Tier1Report};
 use crate::experiments::validation;
-use crate::model::{ModelConfig, Precision, TrainingWorkload};
+use crate::model::{InferenceWorkload, ModelConfig, Precision, TrainingWorkload};
 use crate::suite::render_experiment;
 use crate::wse::{compile, Wse, WseCompilerParams, WseSpec};
 use std::collections::{BTreeMap, HashMap};
@@ -44,7 +44,7 @@ pub struct BenchCase {
 
 /// The full suite, in report order: every paper artifact, the scorecard,
 /// then the hot-path compile and micro benchmarks.
-pub const CASES: [BenchCase; 17] = [
+pub const CASES: [BenchCase; 19] = [
     BenchCase {
         name: "table1",
         kind: BenchKind::Experiment,
@@ -102,6 +102,10 @@ pub const CASES: [BenchCase; 17] = [
         kind: BenchKind::Experiment,
     },
     BenchCase {
+        name: "infer",
+        kind: BenchKind::Experiment,
+    },
+    BenchCase {
         name: "wse_compile_deep",
         kind: BenchKind::Compile,
     },
@@ -111,6 +115,10 @@ pub const CASES: [BenchCase; 17] = [
     },
     BenchCase {
         name: "cache_lookup_legacy",
+        kind: BenchKind::Micro,
+    },
+    BenchCase {
+        name: "infer_decode_step",
         kind: BenchKind::Micro,
     },
 ];
@@ -186,6 +194,19 @@ pub fn make_body(name: &str) -> Box<dyn FnMut()> {
                 let key = (wse.cache_token(), format!("{w:?}"));
                 let hit = store.lock().expect("legacy store").get(&key).cloned();
                 black_box(hit).expect("warm lookup").expect("warm lookup");
+            })
+        }
+        "infer_decode_step" => {
+            // Hot inner loop of the inference profiler: summing per-step
+            // decode costs over a growing KV cache, priced at the storage
+            // precision. No platform in the loop — this pins the model-side
+            // accounting alone.
+            let w =
+                InferenceWorkload::new(ModelConfig::llama2_7b(), 32, 2048, 128, Precision::Fp16)
+                    .expect("decode bench workload is valid")
+                    .with_kv_precision(Precision::Fp8);
+            Box::new(move || {
+                black_box(w.decode_cost());
             })
         }
         experiment => {

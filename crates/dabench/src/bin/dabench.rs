@@ -41,11 +41,11 @@ use dabench::core::supervise::{
 use dabench::core::{
     par_map, set_jobs, supervise_point, tier1, Degradable, Platform, PlatformError, PointTrace,
 };
-use dabench::experiments::{summary, validation};
+use dabench::experiments::{infer, summary, validation};
 use dabench::faults::{render_report, resilience_sweep, PlanSpec};
 use dabench::gpu::GpuCluster;
 use dabench::ipu::Ipu;
-use dabench::model::{ModelConfig, Precision, TrainingWorkload};
+use dabench::model::{BatchingMode, InferenceWorkload, ModelConfig, Precision, TrainingWorkload};
 use dabench::rdu::{CompilationMode, Rdu};
 use dabench::serve::run_serve;
 use dabench::suite::{experiment_tables, render_experiment, EXPERIMENTS};
@@ -97,23 +97,83 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("unknown precision `{other}`")),
                 }
             }
-            "--model" => {
-                opts.model = Some(match value()?.as_str() {
-                    "gpt2-mini" => ModelConfig::gpt2_mini(),
-                    "gpt2-tiny" => ModelConfig::gpt2_tiny(),
-                    "gpt2-small" => ModelConfig::gpt2_small(),
-                    "gpt2-medium" => ModelConfig::gpt2_medium(),
-                    "gpt2-large" => ModelConfig::gpt2_large(),
-                    "gpt2-xl" => ModelConfig::gpt2_xl(),
-                    "llama2-7b" => ModelConfig::llama2_7b(),
-                    "llama2-13b" => ModelConfig::llama2_13b(),
-                    other => return Err(format!("unknown model `{other}`")),
-                })
-            }
+            "--model" => opts.model = Some(parse_model(&value()?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(opts)
+}
+
+fn parse_model(name: &str) -> Result<ModelConfig, String> {
+    Ok(match name {
+        "gpt2-mini" => ModelConfig::gpt2_mini(),
+        "gpt2-tiny" => ModelConfig::gpt2_tiny(),
+        "gpt2-small" => ModelConfig::gpt2_small(),
+        "gpt2-medium" => ModelConfig::gpt2_medium(),
+        "gpt2-large" => ModelConfig::gpt2_large(),
+        "gpt2-xl" => ModelConfig::gpt2_xl(),
+        "llama2-7b" => ModelConfig::llama2_7b(),
+        "llama2-13b" => ModelConfig::llama2_13b(),
+        "llama2-70b" => ModelConfig::llama2_70b(),
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+/// `dabench infer`: no flags prints the default sweep (byte-identical to
+/// `csv infer`'s tables); flags profile one explicit serving workload on
+/// all four platforms.
+fn run_infer(rest: &[String]) -> Result<(), String> {
+    if rest.is_empty() {
+        print!(
+            "{}",
+            render_experiment("infer").expect("infer is a registered experiment")
+        );
+        return Ok(());
+    }
+    let mut model = ModelConfig::llama2_7b();
+    let mut batch = 8u64;
+    let mut prompt = 512u64;
+    let mut decode = 128u64;
+    let mut precision = Precision::Fp16;
+    let mut kv_precision = None;
+    let mut batching = BatchingMode::Static;
+    let parse_precision = |v: &str| -> Result<Precision, String> {
+        Ok(match v {
+            "fp16" => Precision::Fp16,
+            "bf16" => Precision::Bf16,
+            "cb16" => Precision::Cb16,
+            "fp32" => Precision::Fp32,
+            "fp8" => Precision::Fp8,
+            other => return Err(format!("unknown precision `{other}`")),
+        })
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--model" => model = parse_model(&value()?)?,
+            "--batch" => batch = value()?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--prompt" => prompt = value()?.parse().map_err(|e| format!("--prompt: {e}"))?,
+            "--decode" => decode = value()?.parse().map_err(|e| format!("--decode: {e}"))?,
+            "--precision" => precision = parse_precision(&value()?)?,
+            "--kv-precision" => kv_precision = Some(parse_precision(&value()?)?),
+            "--continuous" => batching = BatchingMode::Continuous,
+            other => return Err(format!("unknown flag `{other}` for infer")),
+        }
+    }
+    let mut w = InferenceWorkload::new(model, batch, prompt, decode, precision)
+        .map_err(|e| e.to_string())?
+        .with_batching(batching);
+    if let Some(kv) = kv_precision {
+        w = w.with_kv_precision(kv);
+    }
+    println!("Workload: {w}\n");
+    println!("{}", infer::render_single(&infer::run_single(&w)));
+    Ok(())
 }
 
 fn workload(opts: &Opts) -> Result<TrainingWorkload, String> {
@@ -401,6 +461,7 @@ fn usage() -> &'static str {
        serve                             benchmark-as-a-service daemon (JSONL/TCP)\n\
        ablations                         design-choice ablations\n\
        sensitivity                       hardware-parameter elasticities\n\
+       infer [opts]                      inference serving: TTFT + tokens/s, 4 platforms\n\
        csv <experiment>                  emit an experiment as CSV\n\
        check                             reproduction scorecard (all claims)\n\
        tier1 <wse|rdu-o0|rdu-o1|rdu-o3|ipu|gpu>  profile one workload\n\
@@ -421,11 +482,14 @@ fn usage() -> &'static str {
      \x20              --cache N --retry-after-ms N --deadline-s S --max-retries N\n\
      \x20              --seed N --run-dir D --resume D\n\
      \x20              drains gracefully on SIGTERM/SIGINT or the `drain` op\n\
+     infer options: --model <preset> --batch N --prompt N --decode N\n\
+     \x20             --precision fp16|bf16|cb16|fp32 --kv-precision ...|fp8 --continuous\n\
+     \x20             (no flags: the default batch x prompt x KV-precision sweep)\n\
      faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N\n\
      bench options: --quick --list --out FILE --baseline FILE --gate PCT\n\
      \x20              --filter SUBSTR --record LABEL\n\
      \x20              exit codes: 0 clean, 3 regression past the gate\n\
-     csv targets: table1-4 fig6-12 ablations sensitivity"
+     csv targets: table1-4 fig6-12 ablations sensitivity infer"
 }
 
 /// Observability flags, accepted by every command: `--trace-out FILE`
@@ -650,6 +714,7 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), String> {
                 }
             }),
         "faults" => run_faults(rest),
+        "infer" => run_infer(rest),
         "summary" => parse_opts(rest).and_then(|opts| {
             let w = workload(&opts)?;
             println!("Workload: {w}\n");

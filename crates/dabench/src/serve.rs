@@ -29,6 +29,7 @@ pub fn job_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = EXPERIMENTS.to_vec();
     names.push("ablations");
     names.push("sensitivity");
+    names.push("infer");
     names
 }
 
@@ -203,6 +204,10 @@ mod tests {
         assert!(exec.is_heavy("table2"), "table2 is a multi-platform sweep");
         assert!(exec.is_heavy("ablations"));
         assert!(exec.is_heavy("sensitivity"));
+        assert!(
+            exec.is_heavy("infer"),
+            "the serving sweep crosses 4 platforms x 12 workloads"
+        );
     }
 
     #[test]

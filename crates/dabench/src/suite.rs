@@ -8,8 +8,8 @@
 
 use crate::core::par_map;
 use crate::experiments::{
-    ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, sensitivity, table1, table2, table3,
-    table4,
+    ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, infer, sensitivity, table1, table2,
+    table3, table4,
 };
 use crate::render::Table;
 
@@ -48,6 +48,10 @@ pub fn experiment_tables(name: &str) -> Option<Vec<Table>> {
         "fig10" => vec![fig10::render(&fig10::run())],
         "fig11" => fig11::render(&fig11::run_wse(), &fig11::run_rdu(), &fig11::run_ipu()),
         "fig12" => vec![fig12::render(&fig12::run())],
+        "infer" => vec![
+            infer::render(&infer::run()),
+            infer::render_batching(&infer::run_batching()),
+        ],
         "ablations" => ablation_tables(),
         "sensitivity" => vec![sensitivity::render(&sensitivity::run())],
         _ => return None,

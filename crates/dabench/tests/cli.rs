@@ -114,6 +114,49 @@ fn faults_output_is_jobs_invariant() {
 }
 
 #[test]
+fn infer_output_is_jobs_invariant() {
+    let (ok1, seq, _) = run(&["infer", "--jobs", "1"]);
+    let (ok4, par, _) = run(&["infer", "--jobs", "4"]);
+    assert!(ok1 && ok4);
+    assert_eq!(seq, par, "infer output must not depend on --jobs");
+    assert!(seq.contains("Inference serving"));
+}
+
+#[test]
+fn infer_accepts_explicit_workload_flags() {
+    let (ok, out, _) = run(&[
+        "infer",
+        "--model",
+        "llama2-7b",
+        "--batch",
+        "4",
+        "--prompt",
+        "1024",
+        "--decode",
+        "64",
+        "--kv-precision",
+        "fp8",
+        "--continuous",
+    ]);
+    assert!(ok);
+    assert!(out.contains("Workload:"), "{out}");
+    assert!(out.contains("kv=fp8"), "{out}");
+    for platform in ["wse", "rdu", "ipu", "gpu"] {
+        assert!(out.contains(platform), "missing {platform}: {out}");
+    }
+}
+
+#[test]
+fn infer_rejects_invalid_workloads() {
+    let (ok, _, stderr) = run(&["infer", "--batch", "0"]);
+    assert!(!ok, "zero batch must be rejected");
+    assert!(stderr.contains("batch"), "{stderr}");
+    let (ok, _, stderr) = run(&["infer", "--model", "nonexistent"]);
+    assert!(!ok);
+    assert!(stderr.contains("model"), "{stderr}");
+}
+
+#[test]
 fn jobs_flag_rejects_bad_values() {
     for bad in ["0", "abc"] {
         let (ok, _, stderr) = run(&["summary", "--jobs", bad]);

@@ -156,6 +156,23 @@ fn bench_report_shape_matches_golden() {
 }
 
 #[test]
+fn infer_rendering_matches_golden() {
+    // Pins both serving tables — the batch × prompt × KV-precision sweep
+    // (including the OOM cells at the WSE/GPU capacity walls) and the
+    // static-vs-continuous batching comparison.
+    let r = run(&["infer"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("infer.stdout.golden", &r.stdout);
+}
+
+#[test]
+fn infer_csv_matches_golden() {
+    let r = run(&["csv", "infer"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("infer.csv.golden", &r.stdout);
+}
+
+#[test]
 fn check_metrics_table_matches_golden() {
     // Pins the observability layer end to end: phase attribution, counter
     // totals, span counts, and the table format itself. The model is

@@ -31,10 +31,12 @@
 #![warn(missing_docs)]
 
 mod chip;
+mod infer;
 mod parallelism;
 mod platform_impl;
 
 pub use chip::GpuSpec;
+pub use infer::infer_model;
 pub use parallelism::{megatron_throughput, GpuRun, MegatronConfig};
 
 /// A GPU cluster baseline platform.

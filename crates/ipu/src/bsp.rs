@@ -26,7 +26,9 @@ impl BspCosts {
 pub(crate) fn precision_rate_factor(p: Precision, params: &IpuCompilerParams) -> f64 {
     match p {
         Precision::Fp32 => params.fp32_rate_factor,
-        Precision::Fp16 | Precision::Bf16 | Precision::Cb16 => 1.0,
+        // FP8 is a KV-cache storage format; tile compute still runs at
+        // the half-width rate.
+        Precision::Fp16 | Precision::Bf16 | Precision::Cb16 | Precision::Fp8 => 1.0,
     }
 }
 

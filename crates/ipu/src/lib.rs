@@ -39,6 +39,7 @@
 mod bsp;
 mod chip;
 mod degrade;
+mod infer;
 mod memory;
 mod pipeline;
 mod platform_impl;
@@ -48,6 +49,7 @@ pub use bsp::{
 };
 pub use chip::{IpuCompilerParams, IpuSpec};
 pub use degrade::surviving_devices;
+pub use infer::infer_model;
 pub use memory::{decoder_ipu_memory, embedding_ipu_memory, IpuMemoryUse};
 pub use pipeline::{pipeline_parallel, pipeline_with_allocation, PipelinePlan, StageLoad};
 

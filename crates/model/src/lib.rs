@@ -46,7 +46,7 @@ mod workload;
 
 pub use activation::ActivationMemory;
 pub use config::{Activation, ModelConfig, ModelConfigBuilder, Normalization, PositionalEncoding};
-pub use inference::{InferenceWorkload, PhaseCost};
+pub use inference::{BatchingMode, InferenceWorkload, InferenceWorkloadError, PhaseCost};
 pub use intensity::arithmetic_intensity;
 pub use precision::{Precision, PrecisionPolicy};
 pub use workload::TrainingWorkload;

@@ -30,6 +30,10 @@ pub enum Precision {
     /// Cerebras `CB16` block floating point (16-bit storage with shared
     /// exponent handling in the fabric).
     Cb16,
+    /// 8-bit floating point (E4M3/E5M2-style). Used as a *storage* format
+    /// for inference KV caches; none of the modelled platforms computes
+    /// in FP8, so training workloads do not accept it.
+    Fp8,
 }
 
 impl Precision {
@@ -39,6 +43,7 @@ impl Precision {
         match self {
             Precision::Fp32 => 4,
             Precision::Fp16 | Precision::Bf16 | Precision::Cb16 => 2,
+            Precision::Fp8 => 1,
         }
     }
 
@@ -56,6 +61,7 @@ impl Precision {
             Precision::Fp16 => "fp16",
             Precision::Bf16 => "bf16",
             Precision::Cb16 => "cb16",
+            Precision::Fp8 => "fp8",
         }
     }
 }
@@ -175,6 +181,14 @@ mod tests {
         assert_eq!(Precision::Fp16.bytes_per_element(), 2);
         assert_eq!(Precision::Bf16.bytes_per_element(), 2);
         assert_eq!(Precision::Cb16.bytes_per_element(), 2);
+        assert_eq!(Precision::Fp8.bytes_per_element(), 1);
+    }
+
+    #[test]
+    fn fp8_is_not_half_width() {
+        // `is_half_width` means "16-bit"; FP8 is narrower still.
+        assert!(!Precision::Fp8.is_half_width());
+        assert_eq!(format!("{}", Precision::Fp8), "fp8");
     }
 
     #[test]

@@ -15,7 +15,8 @@ fn precision_rate_factor(p: Precision) -> f64 {
     match p {
         Precision::Fp32 => 0.5,
         Precision::Bf16 => 0.72,
-        Precision::Fp16 | Precision::Cb16 => 1.0,
+        // FP8 is a KV-storage format; compute still runs the 16-bit flow.
+        Precision::Fp16 | Precision::Cb16 | Precision::Fp8 => 1.0,
     }
 }
 
@@ -28,7 +29,7 @@ fn precision_rate_factor(p: Precision) -> f64 {
 fn precision_traffic_factor(p: Precision) -> f64 {
     match p {
         Precision::Bf16 => 1.5,
-        Precision::Fp32 | Precision::Fp16 | Precision::Cb16 => 1.0,
+        Precision::Fp32 | Precision::Fp16 | Precision::Cb16 | Precision::Fp8 => 1.0,
     }
 }
 

@@ -40,6 +40,7 @@
 mod chip;
 mod compile;
 mod degrade;
+mod infer;
 mod kernel;
 mod placement;
 mod platform_impl;
@@ -50,6 +51,7 @@ mod streaming;
 pub use chip::{WseCompilerParams, WseSpec};
 pub use compile::{compile, CompiledKernel, WseCompilation, WseMemoryReport};
 pub use degrade::compile_degraded;
+pub use infer::infer_model;
 pub use kernel::{kernels_of, Kernel, KernelKind};
 pub use placement::{healthy_runs, PlacedRect, Placement};
 pub use runtime::{execute, WseExecution};

@@ -19,7 +19,8 @@ use serde::{Deserialize, Serialize};
 pub(crate) fn precision_rate_factor(precision: Precision, params: &WseCompilerParams) -> f64 {
     match precision {
         Precision::Fp32 => 0.5,
-        Precision::Fp16 | Precision::Bf16 => 1.0,
+        // FP8 is a KV-storage format; PE compute runs at the 16-bit rate.
+        Precision::Fp16 | Precision::Bf16 | Precision::Fp8 => 1.0,
         Precision::Cb16 => params.cb16_speedup,
     }
 }

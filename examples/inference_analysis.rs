@@ -22,7 +22,8 @@ fn main() {
     println!("== Prefill vs decode arithmetic intensity (batch sweep) ==");
     println!("batch | prefill AI | decode AI (at ctx 512)");
     for batch in [1u64, 4, 16, 64, 256] {
-        let w = InferenceWorkload::new(model.clone(), batch, 512, 128, Precision::Fp16);
+        let w = InferenceWorkload::new(model.clone(), batch, 512, 128, Precision::Fp16)
+            .expect("valid dimensions");
         println!(
             "{batch:5} | {:10.0} | {:10.1}",
             w.prefill_cost().intensity,
@@ -45,7 +46,8 @@ fn main() {
         // Batch size at which decode crosses the ridge (becomes
         // compute-bound): decode AI ≈ batch.
         let ridge = roof.ridge_intensity();
-        let w1 = InferenceWorkload::new(model.clone(), 1, 512, 1, Precision::Fp16);
+        let w1 = InferenceWorkload::new(model.clone(), 1, 512, 1, Precision::Fp16)
+            .expect("valid dimensions");
         let ai1 = w1.decode_step_cost(512).intensity;
         let batch_at_ridge = (ridge / ai1).ceil();
         println!(
@@ -62,7 +64,8 @@ fn main() {
 
     println!("== KV-cache budget per sequence (context 4096, fp16) ==");
     for m in [ModelConfig::llama2_7b(), ModelConfig::llama2_70b()] {
-        let w = InferenceWorkload::new(m.clone(), 1, 4096, 1, Precision::Fp16);
+        let w = InferenceWorkload::new(m.clone(), 1, 4096, 1, Precision::Fp16)
+            .expect("valid dimensions");
         println!(
             "{:12} {:7.2} GB ({} KV heads)",
             m.name,
