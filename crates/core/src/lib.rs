@@ -16,6 +16,11 @@
 //!   isolation, wall-clock deadlines, deterministic retries, and a
 //!   crash-safe run journal enabling `--resume` (see
 //!   `docs/supervision.md`).
+//! - **Multi-process sharding** ([`shard`]): deterministic partitioning
+//!   of sweep points across worker OS processes, a fleet supervisor with
+//!   heartbeat liveness and bounded respawns, and a crash-safe merge of
+//!   per-shard journals back into the byte-identical combined journal
+//!   (see `docs/sharding.md`).
 //! - **Observability** ([`obs`]): phase-scoped spans and counters with
 //!   logical timestamps, deterministic under [`par_map`], exported as
 //!   Chrome `trace_event` JSON and per-phase counter tables (see
@@ -60,6 +65,7 @@ mod platform;
 mod report;
 pub mod rng;
 pub mod serve;
+pub mod shard;
 pub mod supervise;
 pub mod tier1;
 pub mod tier2;
@@ -83,7 +89,11 @@ pub use report::{
 };
 pub use rng::SplitMix64;
 pub use serve::{JobExecutor, ServeConfig, ServeSummary, Server, PROTOCOL as SERVE_PROTOCOL};
+pub use shard::{
+    merge_journals, plan_shards, shard_journal_name, supervise_shards, MergeResult, MergedPoint,
+    ShardConfig, ShardOutcome, ShardStatus, SyntheticFailure,
+};
 pub use supervise::{
-    catch_labeled, parse_injections, supervise_point, with_point_label, InjectedErrorKind,
-    Injection, PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy,
+    abandoned_threads, catch_labeled, parse_injections, supervise_point, with_point_label,
+    InjectedErrorKind, Injection, PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy,
 };

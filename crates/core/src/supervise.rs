@@ -37,6 +37,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read as _, Seek as _, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
@@ -168,6 +169,23 @@ impl<U> PointOutcome<U> {
     }
 }
 
+/// Process-wide count of runaway point threads abandoned by the deadline
+/// watchdog (see [`abandoned_threads`]).
+static ABANDONED_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// How many runaway point threads this process has abandoned so far.
+///
+/// [`supervise_point`] cannot join a thread that blew its deadline — it
+/// detaches it and moves on — so every `TimedOut` outcome leaks one
+/// thread until the point's body eventually returns (or the process
+/// exits). This counter is the trace of that leak: it is also published
+/// on the obs bus as `supervise.abandoned_threads` (when a point context
+/// is open) and surfaced by [`RunReport::render`].
+#[must_use]
+pub fn abandoned_threads() -> u64 {
+    ABANDONED_THREADS.load(Ordering::Relaxed)
+}
+
 enum AttemptAbort {
     Panicked(String),
     TimedOut,
@@ -242,9 +260,11 @@ where
                 }
             }
             Err(AttemptAbort::TimedOut) => {
+                ABANDONED_THREADS.fetch_add(1, Ordering::Relaxed);
+                crate::obs::counter("supervise.abandoned_threads", 1.0);
                 return PointOutcome::TimedOut {
                     deadline: policy.deadline.unwrap_or_default(),
-                }
+                };
             }
         }
     }
@@ -306,11 +326,11 @@ impl InjectedErrorKind {
 }
 
 /// Test-only failure injection, from the [`INJECT_ENV`] env var: a
-/// comma-separated list of `<point>=panic`, `<point>=sleep:SECS`, or
-/// `<point>=err:KIND[:N]` clauses. Lets integration tests and the CI
-/// crash-recovery jobs exercise panic isolation, deadlines, retryable
-/// error paths, and mid-run kills without planting bugs in the
-/// experiments themselves.
+/// comma-separated list of `<point>=panic`, `<point>=sleep:SECS`,
+/// `<point>=err:KIND[:N]`, `<point>=abort[:N]`, or `<point>=exit:CODE[:N]`
+/// clauses. Lets integration tests and the CI crash-recovery jobs exercise
+/// panic isolation, deadlines, retryable error paths, and mid-run kills
+/// without planting bugs in the experiments themselves.
 ///
 /// `err:KIND` raises the corresponding [`PlatformError`] on **every**
 /// attempt; `err:KIND:N` raises it on the first `N` attempts only, so
@@ -318,6 +338,16 @@ impl InjectedErrorKind {
 /// `--max-retries 2` succeeds on the third attempt). Kinds:
 /// `device_fault`, `compile_failure` (retryable), `oom`, `unsupported`
 /// (not retryable).
+///
+/// `abort` and `exit:CODE` are **process-level** actions fired at point
+/// *start* (see [`Injection::fire_process`]), the deterministic stand-in
+/// for a SIGKILL'd or OOM-killed shard worker: `abort` raises `SIGABRT`
+/// via [`std::process::abort`], `exit:CODE` calls [`std::process::exit`].
+/// The counted forms (`abort:N`, `exit:CODE:N`) fire only while the
+/// point's durable start count — the number of `started` records already
+/// in the shard journal — is below `N`, so a respawned worker survives
+/// its second attempt and shard-death-plus-recovery is testable
+/// end-to-end without external kill timing.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Injection {
     /// Panic on every attempt.
@@ -331,6 +361,22 @@ pub enum Injection {
         /// Which error to raise.
         kind: InjectedErrorKind,
         /// How many leading attempts fail before the injection clears.
+        failures: u32,
+    },
+    /// `std::process::abort()` at point start while the durable start
+    /// count is below `failures` (`u32::MAX` = always).
+    Abort {
+        /// How many leading process-level starts die before the
+        /// injection clears.
+        failures: u32,
+    },
+    /// `std::process::exit(code)` at point start while the durable start
+    /// count is below `failures` (`u32::MAX` = always).
+    Exit {
+        /// The exit code to die with.
+        code: u8,
+        /// How many leading process-level starts die before the
+        /// injection clears.
         failures: u32,
     },
 }
@@ -360,6 +406,12 @@ impl Injection {
                     Ok(())
                 }
             }
+            // Process-level actions are fired by `fire_process` at point
+            // start, never inside a supervised attempt (aborting under
+            // catch_unwind would still kill the process, but keeping the
+            // two planes separate makes counted semantics unambiguous:
+            // attempts count retries, starts count process lives).
+            Injection::Abort { .. } | Injection::Exit { .. } => Ok(()),
         }
     }
 
@@ -376,6 +428,27 @@ impl Injection {
     ) -> Result<(), PlatformError> {
         let attempt = attempts.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         self.fire(attempt)
+    }
+
+    /// Act on a **process-level** injection (`abort`, `exit:CODE`) at
+    /// point start. `prior_starts` is the number of times this point has
+    /// already been started by *some* process — for shard workers, the
+    /// count of durable `started` records in the shard journal
+    /// ([`Replay::started`]), so the injection survives respawns exactly
+    /// `failures` times. Single-process callers pass 0 (the injection
+    /// always fires). Attempt-level injections are a no-op here.
+    pub fn fire_process(&self, prior_starts: u32) {
+        match *self {
+            Injection::Abort { failures } if prior_starts < failures => {
+                eprintln!("injected abort (DABENCH_INJECT)");
+                std::process::abort();
+            }
+            Injection::Exit { code, failures } if prior_starts < failures => {
+                eprintln!("injected exit:{code} (DABENCH_INJECT)");
+                std::process::exit(i32::from(code));
+            }
+            _ => {}
+        }
     }
 }
 
@@ -414,9 +487,34 @@ pub fn parse_injection_clauses(raw: &str) -> Result<BTreeMap<String, Injection>,
                 )
             })?;
             Injection::Err { kind, failures }
+        } else if action == "abort" {
+            Injection::Abort { failures: u32::MAX }
+        } else if let Some(count) = action.strip_prefix("abort:") {
+            Injection::Abort {
+                failures: count
+                    .parse::<u32>()
+                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+            }
+        } else if let Some(spec) = action.strip_prefix("exit:") {
+            let (code, failures) = match spec.split_once(':') {
+                Some((code, count)) => (
+                    code,
+                    count
+                        .parse::<u32>()
+                        .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+                ),
+                None => (spec, u32::MAX),
+            };
+            Injection::Exit {
+                code: code
+                    .parse::<u8>()
+                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+                failures,
+            }
         } else {
             return Err(format!(
-                "DABENCH_INJECT `{clause}`: expected panic, sleep:SECS, or err:KIND[:N]"
+                "DABENCH_INJECT `{clause}`: expected panic, sleep:SECS, err:KIND[:N], \
+                 abort[:N], or exit:CODE[:N]"
             ));
         };
         map.insert(name.trim().to_owned(), injection);
@@ -446,6 +544,38 @@ pub const JOURNAL_SCHEMA: &str = "dabench-journal-v1";
 /// Journal file name inside a run directory.
 pub const JOURNAL_FILE: &str = "journal.jsonl";
 
+/// Status of a shard-metadata control record (`label` is
+/// [`SHARD_CONTROL_LABEL`], `data` describes the shard: id, pid,
+/// assigned points). Control records never describe a sweep point and
+/// are stripped by replay and merge.
+pub const STATUS_SHARD_META: &str = "shard";
+/// Status of a heartbeat control record appended periodically by a live
+/// shard worker so the parent can distinguish "slow" from "hung".
+pub const STATUS_HEARTBEAT: &str = "heartbeat";
+/// Status journaled by a shard worker *before* running a point: a
+/// durable "I am about to start this" marker. Counting `started` records
+/// for a label gives the number of process lives spent on it — the
+/// denominator for counted process-level injections
+/// ([`Injection::fire_process`]) — and a `started` record with no later
+/// final record marks the point a crashed worker died holding.
+pub const STATUS_STARTED: &str = "started";
+/// Reserved label for shard control records ([`STATUS_SHARD_META`],
+/// [`STATUS_HEARTBEAT`]); never a sweep-point label.
+pub const SHARD_CONTROL_LABEL: &str = "__shard__";
+
+/// Format one journal record line exactly as [`RunJournal::append`]
+/// writes it (no trailing newline). The merge step uses this to rebuild
+/// the combined journal byte-identically to a single-process run.
+#[must_use]
+pub fn format_record(label: &str, status: &str, data: &str) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"status\":\"{}\",\"data\":\"{}\"}}",
+        json_escape(label),
+        json_escape(status),
+        json_escape(data)
+    )
+}
+
 pub(crate) fn json_escape(s: &str) -> String {
     jsonl::escape(s)
 }
@@ -458,6 +588,165 @@ fn parse_journal_line(line: &str) -> Option<BTreeMap<String, String>> {
     jsonl::parse_object(line)
 }
 
+/// One journal record after the schema header. Fields the line did not
+/// carry are `None` — replay treats such records as unfinished points
+/// rather than rejecting them, so a forward-compatible reader never
+/// drops durable work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Point label (or [`SHARD_CONTROL_LABEL`] for control records).
+    pub label: String,
+    /// Status keyword (`completed`, `failed`, `started`, …).
+    pub status: Option<String>,
+    /// Rendered result / failure description / control payload.
+    pub data: Option<String>,
+}
+
+impl JournalRecord {
+    /// Whether this is a shard control record (heartbeat or shard
+    /// metadata) rather than a sweep-point record.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        self.label == SHARD_CONTROL_LABEL
+            || matches!(
+                self.status.as_deref(),
+                Some(STATUS_HEARTBEAT | STATUS_SHARD_META)
+            )
+    }
+
+    /// Whether this records a point's final fate (`completed` or one of
+    /// the failure statuses) as opposed to a `started` marker, a metrics
+    /// digest, or a control record.
+    #[must_use]
+    pub fn is_final(&self) -> bool {
+        !self.is_control()
+            && !matches!(
+                self.status.as_deref(),
+                Some(STATUS_STARTED) | Some("metrics")
+            )
+    }
+}
+
+/// Outcome of [`parse_journal`]: the durable records, how many leading
+/// bytes of the file they cover, and the torn trailing line (if any)
+/// that was discarded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedJournal {
+    /// Every durable record after the schema header, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the valid prefix (header + durable records); the
+    /// healing truncation point.
+    pub valid_bytes: usize,
+    /// A truncated or corrupt *trailing* line that was discarded.
+    pub dropped_tail: Option<String>,
+}
+
+/// Why [`parse_journal`] rejected a journal outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalParseError {
+    /// Line 1 was not the expected schema header.
+    BadSchema {
+        /// The schema string found, if any.
+        found: Option<String>,
+    },
+    /// An invalid line followed by more records — real corruption, not a
+    /// torn tail.
+    Corrupt {
+        /// 1-based line number of the invalid line.
+        line: usize,
+        /// Byte offset of the invalid line.
+        offset: usize,
+        /// The invalid line's text.
+        text: String,
+    },
+}
+
+/// Parse a journal's full contents: schema header, then one record per
+/// line. A torn **trailing** line (the expected residue of a `SIGKILL`
+/// mid-append) is discarded into [`ParsedJournal::dropped_tail`]; an
+/// invalid line **followed by** valid lines is mid-file corruption and a
+/// hard error. Shared by [`RunJournal::resume`] and the shard journal
+/// merge, so both heal exactly the same way.
+///
+/// # Errors
+///
+/// [`JournalParseError`] on a schema mismatch or mid-file corruption.
+pub fn parse_journal(contents: &str) -> Result<ParsedJournal, JournalParseError> {
+    let mut parsed = ParsedJournal::default();
+    let mut line_no = 0usize;
+    let mut invalid: Option<(usize, usize, String)> = None;
+    let mut rest = contents;
+    while !rest.is_empty() {
+        let (line, consumed, complete) = match rest.find('\n') {
+            Some(pos) => (&rest[..pos], pos + 1, true),
+            None => (rest, rest.len(), false),
+        };
+        line_no += 1;
+        let fields = if complete {
+            parse_journal_line(line)
+        } else {
+            None // no trailing newline: the append was cut mid-line
+        };
+        match fields {
+            Some(fields) if invalid.is_none() => {
+                if line_no == 1 {
+                    let schema = fields.get("schema").cloned();
+                    if schema.as_deref() != Some(JOURNAL_SCHEMA) {
+                        return Err(JournalParseError::BadSchema { found: schema });
+                    }
+                } else {
+                    parsed.records.push(JournalRecord {
+                        label: fields.get("label").cloned().unwrap_or_default(),
+                        status: fields.get("status").cloned(),
+                        data: fields.get("data").cloned(),
+                    });
+                }
+                parsed.valid_bytes += consumed;
+            }
+            Some(_) | None if invalid.is_none() => {
+                invalid = Some((line_no, parsed.valid_bytes, line.to_owned()));
+            }
+            _ => {
+                // A second line after an invalid one: mid-file corruption.
+                let (line, offset, text) = invalid.expect("recorded invalid line");
+                return Err(JournalParseError::Corrupt { line, offset, text });
+            }
+        }
+        rest = &rest[consumed..];
+    }
+    if let Some((_, _, tail)) = invalid {
+        parsed.dropped_tail = Some(tail);
+    }
+    Ok(parsed)
+}
+
+/// Render a [`JournalParseError`] as the `io::Error` the journal API
+/// reports, naming the offending file.
+#[must_use]
+pub fn journal_parse_io_error(path: &Path, err: &JournalParseError) -> io::Error {
+    match err {
+        JournalParseError::BadSchema { found } => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: unsupported journal schema {:?} (expected {JOURNAL_SCHEMA:?})",
+                path.display(),
+                found.as_deref().unwrap_or("<missing>")
+            ),
+        ),
+        JournalParseError::Corrupt { line, offset, text } => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{}: corrupt journal record at line {line}, byte offset \
+                 {offset} ({} bytes, hex {}) is followed by more records; \
+                 refusing to resume past possible lost work",
+                path.display(),
+                text.len(),
+                jsonl::hex_snippet(text, 24),
+            ),
+        ),
+    }
+}
+
 /// What replaying a journal found.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Replay {
@@ -468,6 +757,12 @@ pub struct Replay {
     pub metrics: BTreeMap<String, String>,
     /// Labels journaled with a non-completed status (they will re-run).
     pub unfinished: Vec<String>,
+    /// Durable start counts: label → number of [`STATUS_STARTED`]
+    /// records. In a shard worker this is how many process lives have
+    /// already been spent on the point — fed to
+    /// [`Injection::fire_process`] so counted `abort:N` / `exit:CODE:N`
+    /// injections clear after `N` worker deaths.
+    pub started: BTreeMap<String, u32>,
     /// A truncated or corrupt *trailing* line that was discarded (the
     /// expected residue of a `SIGKILL` mid-append). The journal file is
     /// healed — truncated back to its last valid line — before reuse.
@@ -536,8 +831,19 @@ impl RunJournal {
     /// directory — silently overwriting a crashed run's journal would
     /// destroy the state `--resume` needs), or on any I/O error.
     pub fn create(dir: &Path) -> io::Result<Self> {
+        Self::create_named(dir, JOURNAL_FILE)
+    }
+
+    /// [`RunJournal::create`] with an explicit file name inside `dir` —
+    /// how shard workers get their own `journal.shard-K.jsonl` next to
+    /// the combined journal.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RunJournal::create`].
+    pub fn create_named(dir: &Path, file_name: &str) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let path = Self::path_in(dir);
+        let path = dir.join(file_name);
         if path.exists() {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
@@ -569,92 +875,57 @@ impl RunJournal {
     ///
     /// I/O errors, a schema mismatch, or mid-file corruption.
     pub fn resume(dir: &Path) -> io::Result<(Self, Replay)> {
-        let path = Self::path_in(dir);
+        Self::resume_named(dir, JOURNAL_FILE)
+    }
+
+    /// [`RunJournal::resume`] with an explicit file name inside `dir` —
+    /// how a respawned shard worker re-adopts its predecessor's durable
+    /// records (and heals its torn tail).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RunJournal::resume`].
+    pub fn resume_named(dir: &Path, file_name: &str) -> io::Result<(Self, Replay)> {
+        let path = dir.join(file_name);
         if !path.exists() {
-            let journal = Self::create(dir)?;
+            let journal = Self::create_named(dir, file_name)?;
             return Ok((journal, Replay::default()));
         }
         let mut contents = String::new();
         File::open(&path)?.read_to_string(&mut contents)?;
 
+        let parsed = parse_journal(&contents).map_err(|e| journal_parse_io_error(&path, &e))?;
         let mut replay = Replay::default();
-        let mut valid_bytes = 0usize;
-        let mut line_no = 0usize;
-        let mut invalid: Option<(usize, usize, String)> = None;
-        let mut rest = contents.as_str();
-        while !rest.is_empty() {
-            let (line, consumed, complete) = match rest.find('\n') {
-                Some(pos) => (&rest[..pos], pos + 1, true),
-                None => (rest, rest.len(), false),
-            };
-            line_no += 1;
-            let parsed = if complete {
-                parse_journal_line(line)
-            } else {
-                None // no trailing newline: the append was cut mid-line
-            };
-            match parsed {
-                Some(fields) if invalid.is_none() => {
-                    if line_no == 1 {
-                        let schema = fields.get("schema").map(String::as_str);
-                        if schema != Some(JOURNAL_SCHEMA) {
-                            return Err(io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                format!(
-                                    "{}: unsupported journal schema {:?} (expected {JOURNAL_SCHEMA:?})",
-                                    path.display(),
-                                    schema.unwrap_or("<missing>")
-                                ),
-                            ));
-                        }
-                    } else {
-                        let label = fields.get("label").cloned().unwrap_or_default();
-                        match (fields.get("status").map(String::as_str), fields.get("data")) {
-                            (Some("completed"), Some(data)) => {
-                                replay.completed.insert(label, data.clone());
-                            }
-                            (Some("metrics"), Some(data)) => {
-                                replay.metrics.insert(label, data.clone());
-                            }
-                            _ => replay.unfinished.push(label),
-                        }
-                    }
-                    valid_bytes += consumed;
-                }
-                Some(_) | None if invalid.is_none() => {
-                    invalid = Some((line_no, valid_bytes, line.to_owned()));
-                }
-                _ => {
-                    // A second line after an invalid one: mid-file corruption.
-                    let (bad_line, bad_offset, bad_text) = invalid.expect("recorded invalid line");
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "{}: corrupt journal record at line {bad_line}, byte offset \
-                             {bad_offset} ({} bytes, hex {}) is followed by more records; \
-                             refusing to resume past possible lost work",
-                            path.display(),
-                            bad_text.len(),
-                            jsonl::hex_snippet(&bad_text, 24),
-                        ),
-                    ));
-                }
+        for record in &parsed.records {
+            if record.is_control() {
+                continue;
             }
-            rest = &rest[consumed..];
+            let label = record.label.clone();
+            match (record.status.as_deref(), record.data.as_ref()) {
+                (Some("completed"), Some(data)) => {
+                    replay.completed.insert(label, data.clone());
+                }
+                (Some("metrics"), Some(data)) => {
+                    replay.metrics.insert(label, data.clone());
+                }
+                (Some(STATUS_STARTED), _) => {
+                    *replay.started.entry(label.clone()).or_insert(0) += 1;
+                    replay.unfinished.push(label);
+                }
+                _ => replay.unfinished.push(label),
+            }
         }
-        if let Some((_, _, tail)) = invalid {
-            replay.dropped_tail = Some(tail);
-        }
+        replay.dropped_tail = parsed.dropped_tail;
 
         // Heal a dropped tail: truncate to the last valid record so the
         // next append starts on a fresh line.
         let file = OpenOptions::new().read(true).append(true).open(&path)?;
-        if valid_bytes < contents.len() {
-            file.set_len(valid_bytes as u64)?;
+        if parsed.valid_bytes < contents.len() {
+            file.set_len(parsed.valid_bytes as u64)?;
             file.sync_all()?;
         }
         let mut journal = Self { file, path };
-        if valid_bytes == 0 {
+        if parsed.valid_bytes == 0 {
             // Empty (or fully discarded) file: rewrite the header.
             writeln!(journal.file, "{{\"schema\":\"{JOURNAL_SCHEMA}\"}}")?;
             journal.file.sync_all()?;
@@ -671,13 +942,7 @@ impl RunJournal {
     /// Propagates write/fsync failures — a journal that cannot persist
     /// must fail loudly, or `--resume` would silently re-run points.
     pub fn append(&mut self, label: &str, status: &str, data: &str) -> io::Result<()> {
-        writeln!(
-            self.file,
-            "{{\"label\":\"{}\",\"status\":\"{}\",\"data\":\"{}\"}}",
-            json_escape(label),
-            json_escape(status),
-            json_escape(data)
-        )?;
+        writeln!(self.file, "{}", format_record(label, status, data))?;
         self.file.sync_all()
     }
 
@@ -727,6 +992,24 @@ impl RunReport {
             .push((label.to_owned(), outcome.status(), detail));
     }
 
+    /// Fold one point in by status keyword rather than live
+    /// [`PointOutcome`] — how the shard merge rebuilds the combined
+    /// report from journal records alone. Known keywords are interned to
+    /// the same `&'static str` values [`PointOutcome::status`] produces
+    /// (so [`RunReport::count`] and [`RunReport::render`] agree with a
+    /// single-process run); anything unrecognized is recorded as
+    /// `failed`, never silently dropped.
+    pub fn record_status(&mut self, label: &str, status: &str, detail: Option<String>) {
+        let interned = match status {
+            "completed" => "completed",
+            "journaled" => "journaled",
+            "panicked" => "panicked",
+            "timed-out" => "timed-out",
+            _ => "failed",
+        };
+        self.entries.push((label.to_owned(), interned, detail));
+    }
+
     /// Number of recorded points with the given status keyword.
     #[must_use]
     pub fn count(&self, status: &str) -> usize {
@@ -742,17 +1025,28 @@ impl RunReport {
     }
 
     /// Render the report (deterministic: recorded order, fixed format).
+    /// Each timed-out point leaked one watchdog-abandoned runaway thread
+    /// (see [`abandoned_threads`]); when any exist the headline says so.
     #[must_use]
     pub fn render(&self) -> String {
+        let timed_out = self.count("timed-out");
+        let abandoned = if timed_out > 0 {
+            format!(
+                " ({timed_out} runaway thread{} abandoned)",
+                if timed_out == 1 { "" } else { "s" }
+            )
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "run report: {} points — {} completed ({} retried), {} from journal, {} failed, {} panicked, {} timed out\n",
+            "run report: {} points — {} completed ({} retried), {} from journal, {} failed, {} panicked, {} timed out{abandoned}\n",
             self.entries.len(),
             self.count("completed"),
             self.retried,
             self.count("journaled"),
             self.count("failed"),
             self.count("panicked"),
-            self.count("timed-out"),
+            timed_out,
         );
         for (label, status, detail) in &self.entries {
             if *status == "completed" && detail.is_none() || *status == "journaled" {

@@ -24,6 +24,11 @@ use crate::core::bench::{
     CounterRow, PhaseRow,
 };
 use crate::core::cache::clear_tier1_cache;
+use crate::core::shard::{merge_journals, plan_shards};
+use crate::core::supervise::{
+    JournalRecord, ParsedJournal, SHARD_CONTROL_LABEL, STATUS_HEARTBEAT, STATUS_SHARD_META,
+    STATUS_STARTED,
+};
 use crate::core::{obs, tier1_cached, Memoizable, PlatformError, Tier1Report};
 use crate::experiments::validation;
 use crate::model::{InferenceWorkload, ModelConfig, Precision, TrainingWorkload};
@@ -44,7 +49,7 @@ pub struct BenchCase {
 
 /// The full suite, in report order: every paper artifact, the scorecard,
 /// then the hot-path compile and micro benchmarks.
-pub const CASES: [BenchCase; 19] = [
+pub const CASES: [BenchCase; 21] = [
     BenchCase {
         name: "table1",
         kind: BenchKind::Experiment,
@@ -110,6 +115,10 @@ pub const CASES: [BenchCase; 19] = [
         kind: BenchKind::Compile,
     },
     BenchCase {
+        name: "journal_merge_1k",
+        kind: BenchKind::Compile,
+    },
+    BenchCase {
         name: "cache_lookup_hit",
         kind: BenchKind::Micro,
     },
@@ -119,6 +128,10 @@ pub const CASES: [BenchCase; 19] = [
     },
     BenchCase {
         name: "infer_decode_step",
+        kind: BenchKind::Micro,
+    },
+    BenchCase {
+        name: "shard_partition_plan",
         kind: BenchKind::Micro,
     },
 ];
@@ -159,6 +172,65 @@ pub fn make_body(name: &str) -> Box<dyn FnMut()> {
             let w = deep_compile_workload();
             Box::new(move || {
                 black_box(compile(&spec, &params, &w, None)).expect("deep compile succeeds");
+            })
+        }
+        "journal_merge_1k" => {
+            // The shard merge hot path: 1000 points spread across 4 shard
+            // journals (with started/heartbeat control noise and a sprinkle
+            // of failure records), folded back into the canonical combined
+            // journal. All sources are built here, outside the timed region.
+            let order: Vec<String> = (0..1000).map(|i| format!("point-{i:04}")).collect();
+            let sources: Vec<ParsedJournal> = plan_shards(&order, 4)
+                .iter()
+                .enumerate()
+                .map(|(k, labels)| {
+                    let mut records = vec![JournalRecord {
+                        label: SHARD_CONTROL_LABEL.to_owned(),
+                        status: Some(STATUS_SHARD_META.to_owned()),
+                        data: Some(format!("shard={k}")),
+                    }];
+                    for (j, label) in labels.iter().enumerate() {
+                        records.push(JournalRecord {
+                            label: label.clone(),
+                            status: Some(STATUS_STARTED.to_owned()),
+                            data: Some("life=0".to_owned()),
+                        });
+                        if j % 97 == 5 {
+                            records.push(JournalRecord {
+                                label: label.clone(),
+                                status: Some("failed".to_owned()),
+                                data: Some("injected failure".to_owned()),
+                            });
+                        } else {
+                            records.push(JournalRecord {
+                                label: label.clone(),
+                                status: Some("completed".to_owned()),
+                                data: Some(format!("rendered output for {label}\n")),
+                            });
+                            records.push(JournalRecord {
+                                label: label.clone(),
+                                status: Some("metrics".to_owned()),
+                                data: Some(format!("point/{label} spans=3 counters=2")),
+                            });
+                        }
+                        if j % 13 == 0 {
+                            records.push(JournalRecord {
+                                label: SHARD_CONTROL_LABEL.to_owned(),
+                                status: Some(STATUS_HEARTBEAT.to_owned()),
+                                data: Some(format!("beat={j}")),
+                            });
+                        }
+                    }
+                    ParsedJournal {
+                        records,
+                        valid_bytes: 0,
+                        dropped_tail: None,
+                    }
+                })
+                .collect();
+            let synthetic = BTreeMap::new();
+            Box::new(move || {
+                black_box(merge_journals(&order, &sources, &synthetic));
             })
         }
         "cache_lookup_hit" => {
@@ -207,6 +279,17 @@ pub fn make_body(name: &str) -> Box<dyn FnMut()> {
                     .with_kv_precision(Precision::Fp8);
             Box::new(move || {
                 black_box(w.decode_cost());
+            })
+        }
+        "shard_partition_plan" => {
+            // Deterministic round-robin partition of a large sweep into 7
+            // worker shards — the parent-side planning step of
+            // `dabench all --shards N`. Label construction stays outside
+            // the timed region; the body pays only the plan (and its
+            // per-shard label clones, which the real parent pays too).
+            let labels: Vec<String> = (0..256).map(|i| format!("sweep-point-{i:03}")).collect();
+            Box::new(move || {
+                black_box(plan_shards(&labels, 7));
             })
         }
         experiment => {

@@ -35,18 +35,23 @@
 
 use dabench::bench_suite::run_bench;
 use dabench::core::obs;
+use dabench::core::shard::{
+    emit_shard_counters, list_shard_journals, merge_journals, plan_shards, read_journal,
+    remove_shard_journals, render_rollups, shard_journal_name, supervise_shards, write_merged,
+    ShardConfig, ShardOutcome, SyntheticFailure,
+};
 use dabench::core::supervise::{
-    parse_injections, PointOutcome, Replay, RunJournal, RunReport, SupervisePolicy,
+    parse_injections, Replay, RunJournal, RunReport, SupervisePolicy, SHARD_CONTROL_LABEL,
+    STATUS_SHARD_META,
 };
-use dabench::core::{
-    par_map, set_jobs, supervise_point, tier1, Degradable, Platform, PlatformError, PointTrace,
-};
+use dabench::core::{jobs, set_jobs, tier1, Degradable, Platform, PointTrace};
 use dabench::experiments::{infer, summary, validation};
 use dabench::faults::{render_report, resilience_sweep, PlanSpec};
 use dabench::gpu::GpuCluster;
 use dabench::ipu::Ipu;
 use dabench::model::{BatchingMode, InferenceWorkload, ModelConfig, Precision, TrainingWorkload};
 use dabench::rdu::{CompilationMode, Rdu};
+use dabench::runner::{run_supervised_points, RunnerConfig};
 use dabench::serve::run_serve;
 use dabench::suite::{experiment_tables, render_experiment, EXPERIMENTS};
 use dabench::wse::Wse;
@@ -260,6 +265,10 @@ struct AllOpts {
     resume: bool,
     deadline: Option<std::time::Duration>,
     max_retries: u32,
+    shards: usize,
+    max_respawns: u32,
+    heartbeat_ms: u64,
+    shard_stall_s: f64,
 }
 
 fn parse_all_opts(args: &[String]) -> Result<AllOpts, String> {
@@ -268,6 +277,10 @@ fn parse_all_opts(args: &[String]) -> Result<AllOpts, String> {
         resume: false,
         deadline: None,
         max_retries: 0,
+        shards: 1,
+        max_respawns: 2,
+        heartbeat_ms: 200,
+        shard_stall_s: 10.0,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -296,6 +309,34 @@ fn parse_all_opts(args: &[String]) -> Result<AllOpts, String> {
                     .parse()
                     .map_err(|e| format!("--max-retries: {e}"))?;
             }
+            "--shards" => {
+                opts.shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+            }
+            "--max-respawns" => {
+                opts.max_respawns = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-respawns: {e}"))?;
+            }
+            "--heartbeat-ms" => {
+                opts.heartbeat_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
+                if opts.heartbeat_ms == 0 {
+                    return Err("--heartbeat-ms must be at least 1".to_owned());
+                }
+            }
+            "--shard-stall-s" => {
+                let s: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("--shard-stall-s: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!("--shard-stall-s: {s} is not a positive number"));
+                }
+                opts.shard_stall_s = s;
+            }
             other => return Err(format!("unknown flag `{other}` for all")),
         }
     }
@@ -309,14 +350,22 @@ fn parse_all_opts(args: &[String]) -> Result<AllOpts, String> {
 /// but the sweep itself survived.
 fn run_all(rest: &[String]) -> Result<ExitCode, String> {
     let opts = parse_all_opts(rest)?;
+    if opts.shards > 1 {
+        return run_all_sharded(&opts);
+    }
     let injections = parse_injections()?;
     let policy = SupervisePolicy {
         deadline: opts.deadline,
         max_retries: opts.max_retries,
         ..SupervisePolicy::default()
     };
+    let order: Vec<String> = EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
     let (journal, replay) = match &opts.run_dir {
         Some(dir) if opts.resume => {
+            // A killed sharded parent leaves per-shard journals behind;
+            // fold them into the combined journal first so `--resume`
+            // works identically across the sharded layout.
+            fold_stale_shards(dir, &order)?;
             let (j, replay) =
                 RunJournal::resume(dir).map_err(|e| format!("--resume {}: {e}", dir.display()))?;
             (Some(std::sync::Mutex::new(j)), replay)
@@ -355,94 +404,382 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    // A journal that cannot persist must stop the run — `--resume` would
-    // otherwise silently re-execute points it believes are unrecorded.
-    let journal_error: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
-    let indexed: Vec<(usize, &str)> = EXPERIMENTS.iter().copied().enumerate().collect();
-    let outcomes = par_map(&indexed, |&(i, name)| {
-        if let Some(value) = replay.completed.get(name) {
-            return PointOutcome::Journaled {
-                value: value.clone(),
-            };
-        }
-        let injection = injections.get(name).copied();
-        let attempts = std::sync::atomic::AtomicU32::new(0);
-        let point = name.to_owned();
-        let outcome = supervise_point(name, i as u64, &policy, move |_seed| {
-            // Retry hygiene: a previous failed attempt of this point may
-            // have flushed partial traces; they must not leak into the
-            // output of the attempt that eventually succeeds.
-            let _ = obs::drain_prefix(&[i as u64]);
-            if let Some(injection) = injection {
-                injection.fire_counted(&attempts)?;
-            }
-            obs::with_point(i as u64, &point, || render_experiment(&point))
-                .ok_or_else(|| PlatformError::Unsupported(format!("no renderer for `{point}`")))
-        });
-        if let Some(journal) = &journal {
-            let data = match &outcome {
-                PointOutcome::Completed { value, .. } => Some(value.clone()),
-                PointOutcome::Failed { error, .. } => Some(error.to_string()),
-                PointOutcome::Panicked { message } => Some(message.clone()),
-                PointOutcome::TimedOut { deadline } => {
-                    Some(format!("exceeded {:.1} s deadline", deadline.as_secs_f64()))
-                }
-                PointOutcome::Journaled { .. } => None,
-            };
-            if let Some(data) = data {
-                let appended =
-                    journal
-                        .lock()
-                        .expect("journal lock")
-                        .append(name, outcome.status(), &data);
-                if let Err(e) = appended {
-                    journal_error
-                        .lock()
-                        .expect("journal error lock")
-                        .get_or_insert_with(|| format!("journal append for `{name}`: {e}"));
-                }
-            }
-        }
-        // Harvest this point's traces. Completed points journal their
-        // digest (so `--resume` replays the same metrics) and go back into
-        // the sink; failed points are dropped so the trace only ever
-        // reflects what printed. Journaled points keep their replayed
-        // traces untouched.
-        if obs::is_enabled() && !matches!(outcome, PointOutcome::Journaled { .. }) {
-            let traces = obs::drain_prefix(&[i as u64]);
-            if matches!(outcome, PointOutcome::Completed { .. }) && !traces.is_empty() {
-                if let Some(journal) = &journal {
-                    let digest = traces
-                        .iter()
-                        .map(PointTrace::digest)
-                        .collect::<Vec<_>>()
-                        .join("\n");
-                    let appended = journal
-                        .lock()
-                        .expect("journal lock")
-                        .append(name, "metrics", &digest);
-                    if let Err(e) = appended {
-                        journal_error
-                            .lock()
-                            .expect("journal error lock")
-                            .get_or_insert_with(|| format!("journal append for `{name}`: {e}"));
-                    }
-                }
-                obs::inject(traces);
-            }
-        }
-        outcome
-    });
-    if let Some(e) = journal_error.into_inner().expect("journal error lock") {
-        return Err(e);
-    }
+    let points: Vec<(usize, String)> = order.into_iter().enumerate().collect();
+    let cfg = RunnerConfig {
+        policy,
+        injections,
+        journal_started: false,
+    };
+    let outcomes = run_supervised_points(&points, &cfg, journal.as_ref(), &replay)?;
 
     let mut report = RunReport::default();
-    for (&(_, name), outcome) in indexed.iter().zip(&outcomes) {
+    for ((_, name), outcome) in points.iter().zip(&outcomes) {
         report.record(name, outcome);
         if let Some(text) = outcome.value() {
             print!("{text}");
         }
+    }
+    eprint!("{}", report.render());
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// Fold stale shard journals (left behind by a killed sharded parent)
+/// into the combined journal, then delete them. A no-op when none exist.
+/// After this, the run directory looks exactly like a single-process
+/// run's, so every resume path works unchanged.
+fn fold_stale_shards(dir: &std::path::Path, order: &[String]) -> Result<(), String> {
+    let stale = list_shard_journals(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if stale.is_empty() {
+        return Ok(());
+    }
+    let mut sources = vec![read_journal(&RunJournal::path_in(dir)).map_err(|e| e.to_string())?];
+    for (k, path) in stale {
+        match read_journal(&path) {
+            Ok(parsed) => sources.push(parsed),
+            Err(e) => eprintln!(
+                "warning: shard {k} journal unreadable ({e}); its records are not adopted"
+            ),
+        }
+    }
+    let merged = merge_journals(order, &sources, &std::collections::BTreeMap::new());
+    write_merged(dir, &merged.text).map_err(|e| format!("journal merge: {e}"))?;
+    remove_shard_journals(dir).map_err(|e| format!("shard journal cleanup: {e}"))?;
+    Ok(())
+}
+
+/// `dabench all --shards N`: partition the sweep across worker OS
+/// processes, supervise the fleet (heartbeat liveness, crash detection,
+/// bounded respawns), then merge the per-shard journals into the
+/// combined journal — stdout and journal byte-identical to a
+/// single-process run. See docs/sharding.md.
+fn run_all_sharded(opts: &AllOpts) -> Result<ExitCode, String> {
+    // Fail on malformed DABENCH_INJECT here, with the same message a
+    // single-process run gives, rather than once per worker log.
+    parse_injections()?;
+    let order: Vec<String> = EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    let (dir, ephemeral) = match &opts.run_dir {
+        Some(d) => (d.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("dabench-shards-{}", std::process::id())),
+            true,
+        ),
+    };
+    if opts.resume {
+        fold_stale_shards(&dir, &order)?;
+    } else {
+        // Same refuse-to-clobber semantics as a single-process --run-dir;
+        // the handle is dropped — in sharded mode only the merge step
+        // writes the combined journal.
+        let journal =
+            RunJournal::create(&dir).map_err(|e| format!("--run-dir {}: {e}", dir.display()))?;
+        drop(journal);
+    }
+    let combined = read_journal(&RunJournal::path_in(&dir)).map_err(|e| e.to_string())?;
+    let mut replay = Replay::default();
+    for rec in &combined.records {
+        if rec.is_control() {
+            continue;
+        }
+        match (rec.status.as_deref(), rec.data.as_ref()) {
+            (Some("completed"), Some(data)) => {
+                replay.completed.insert(rec.label.clone(), data.clone());
+            }
+            (Some("metrics"), Some(data)) => {
+                replay.metrics.insert(rec.label.clone(), data.clone());
+            }
+            _ => replay.unfinished.push(rec.label.clone()),
+        }
+    }
+    replay.dropped_tail = combined.dropped_tail.clone();
+    if let Some(tail) = &replay.dropped_tail {
+        eprintln!("warning: discarded truncated journal record {tail:?}; its point will re-run");
+    }
+    if opts.resume {
+        eprintln!("{}", replay.resume_summary());
+    }
+
+    let pending: Vec<String> = order
+        .iter()
+        .filter(|l| !replay.completed.contains_key(*l))
+        .cloned()
+        .collect();
+    let capture_metrics = obs::is_enabled();
+    let statuses = if pending.is_empty() {
+        Vec::new()
+    } else {
+        let plan = plan_shards(&pending, opts.shards);
+        let cfg = ShardConfig {
+            max_respawns: opts.max_respawns,
+            heartbeat: std::time::Duration::from_millis(opts.heartbeat_ms),
+            stall_timeout: std::time::Duration::from_secs_f64(opts.shard_stall_s),
+            ..ShardConfig::default()
+        };
+        let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+        // Split this process's thread budget across the fleet so
+        // `--shards N --jobs J` uses ~J threads total, not N*J.
+        let worker_jobs = (jobs() / plan.len().max(1)).max(1);
+        let worker_dir = dir.clone();
+        let deadline = opts.deadline;
+        let max_retries = opts.max_retries;
+        let heartbeat_ms = opts.heartbeat_ms;
+        let mut spawn = move |k: usize, labels: &[String]| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("shard-worker")
+                .arg("--run-dir")
+                .arg(&worker_dir)
+                .arg("--shard")
+                .arg(k.to_string())
+                .arg("--points")
+                .arg(labels.join(","))
+                .arg("--jobs")
+                .arg(worker_jobs.to_string())
+                .arg("--heartbeat-ms")
+                .arg(heartbeat_ms.to_string());
+            if let Some(d) = deadline {
+                cmd.arg("--deadline-s").arg(format!("{}", d.as_secs_f64()));
+            }
+            if max_retries > 0 {
+                cmd.arg("--max-retries").arg(max_retries.to_string());
+            }
+            if capture_metrics {
+                cmd.arg("--capture-metrics");
+            }
+            cmd.stdout(std::process::Stdio::null());
+            let log = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(worker_dir.join(format!("shard-{k}.log")));
+            match log {
+                Ok(f) => cmd.stderr(std::process::Stdio::from(f)),
+                Err(_) => cmd.stderr(std::process::Stdio::null()),
+            };
+            cmd
+        };
+        supervise_shards(&dir, &plan, &cfg, &mut spawn)
+            .map_err(|e| format!("shard supervision: {e}"))?
+    };
+
+    // Merge: the prior combined journal first (idempotent re-merge, keeps
+    // resumed results), then the shard journals ascending.
+    let mut sources = vec![combined];
+    for (k, path) in list_shard_journals(&dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        match read_journal(&path) {
+            Ok(parsed) => sources.push(parsed),
+            Err(e) => eprintln!(
+                "warning: shard {k} journal unreadable ({e}); its unfinished points count as dropped"
+            ),
+        }
+    }
+    let mut synthetic = std::collections::BTreeMap::new();
+    for s in &statuses {
+        if let ShardOutcome::Dead { dropped } = &s.outcome {
+            let detail = s
+                .deaths
+                .last()
+                .cloned()
+                .unwrap_or_else(|| "died".to_owned());
+            for label in dropped {
+                synthetic.insert(
+                    label.clone(),
+                    SyntheticFailure {
+                        status: "failed".to_owned(),
+                        data: format!(
+                            "shard {} {detail}; respawn budget ({}) exhausted",
+                            s.shard, opts.max_respawns
+                        ),
+                    },
+                );
+            }
+        }
+    }
+    let merged = merge_journals(&order, &sources, &synthetic);
+    write_merged(&dir, &merged.text).map_err(|e| format!("journal merge: {e}"))?;
+    remove_shard_journals(&dir).map_err(|e| format!("shard journal cleanup: {e}"))?;
+
+    let mut report = RunReport::default();
+    for label in &order {
+        match merged.points.get(label) {
+            Some(p) if p.status == "completed" => {
+                print!("{}", p.data);
+                if p.source == 0 && opts.resume {
+                    report.record_status(label, "journaled", None);
+                } else {
+                    report.record_status(label, "completed", None);
+                }
+                if capture_metrics {
+                    if let Some(digest) = &p.metrics {
+                        obs::inject(
+                            digest
+                                .lines()
+                                .filter_map(PointTrace::parse_digest)
+                                .collect(),
+                        );
+                    }
+                }
+            }
+            Some(p) => report.record_status(label, &p.status, Some(p.data.clone())),
+            None => {
+                report.record_status(
+                    label,
+                    "failed",
+                    Some("no journal record produced".to_owned()),
+                );
+            }
+        }
+    }
+    emit_shard_counters(&statuses);
+    if !statuses.is_empty() {
+        eprint!("{}", render_rollups(&statuses));
+    }
+    eprint!("{}", report.render());
+    let clean = report.is_clean();
+    if ephemeral {
+        if clean {
+            let _ = std::fs::remove_dir_all(&dir);
+        } else {
+            eprintln!(
+                "run directory kept at {} (pass --resume {0} --shards {1} to retry)",
+                dir.display(),
+                opts.shards
+            );
+        }
+    }
+    Ok(if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// Hidden `dabench shard-worker` mode, spawned by `run_all_sharded`: run
+/// the assigned points through the shared supervised loop against this
+/// shard's own journal (`journal.shard-K.jsonl`, resumed so a respawn
+/// re-adopts its predecessor's durable records), with a heartbeat thread
+/// appending liveness records for the parent's watchdog. Writes nothing
+/// to stdout; exit 0 = clean, 2 = some points failed, 1 = hard error.
+fn run_shard_worker(rest: &[String]) -> Result<ExitCode, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let mut dir: Option<std::path::PathBuf> = None;
+    let mut shard: Option<usize> = None;
+    let mut points_arg: Option<String> = None;
+    let mut deadline = None;
+    let mut max_retries = 0u32;
+    let mut heartbeat_ms = 200u64;
+    let mut capture_metrics = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--run-dir" => dir = Some(value()?.into()),
+            "--shard" => shard = Some(value()?.parse().map_err(|e| format!("--shard: {e}"))?),
+            "--points" => points_arg = Some(value()?),
+            "--deadline-s" => {
+                let s: f64 = value()?.parse().map_err(|e| format!("--deadline-s: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(format!("--deadline-s: {s} is not a positive number"));
+                }
+                deadline = Some(std::time::Duration::from_secs_f64(s));
+            }
+            "--max-retries" => {
+                max_retries = value()?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?;
+            }
+            "--heartbeat-ms" => {
+                heartbeat_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-ms: {e}"))?;
+                if heartbeat_ms == 0 {
+                    return Err("--heartbeat-ms must be at least 1".to_owned());
+                }
+            }
+            "--capture-metrics" => capture_metrics = true,
+            other => return Err(format!("unknown flag `{other}` for shard-worker")),
+        }
+    }
+    let dir = dir.ok_or("shard-worker needs --run-dir")?;
+    let shard = shard.ok_or("shard-worker needs --shard")?;
+    let points_arg = points_arg.ok_or("shard-worker needs --points")?;
+    let mut points: Vec<(usize, String)> = Vec::new();
+    for label in points_arg.split(',').filter(|s| !s.is_empty()) {
+        // Points keep their *global* experiment index: retry seeds and
+        // obs point paths must match a single-process run's exactly.
+        let index = EXPERIMENTS
+            .iter()
+            .position(|e| *e == label)
+            .ok_or_else(|| format!("shard-worker: unknown point `{label}`"))?;
+        points.push((index, label.to_owned()));
+    }
+    if points.is_empty() {
+        return Err("shard-worker: --points is empty".to_owned());
+    }
+    if capture_metrics {
+        obs::enable();
+    }
+    let injections = parse_injections()?;
+    let (journal, replay) = RunJournal::resume_named(&dir, &shard_journal_name(shard))
+        .map_err(|e| format!("shard {shard} journal: {e}"))?;
+    let journal = std::sync::Mutex::new(journal);
+    journal
+        .lock()
+        .expect("journal lock")
+        .append(
+            SHARD_CONTROL_LABEL,
+            STATUS_SHARD_META,
+            &format!("shard={shard} points={points_arg}"),
+        )
+        .map_err(|e| format!("shard {shard} journal: {e}"))?;
+
+    let cfg = RunnerConfig {
+        policy: SupervisePolicy {
+            deadline,
+            max_retries,
+            ..SupervisePolicy::default()
+        },
+        injections,
+        journal_started: true,
+    };
+    let stop = AtomicBool::new(false);
+    let outcomes = std::thread::scope(|scope| {
+        // Heartbeat: the parent's liveness watchdog keys on journal
+        // growth, so a live worker must append even while every point is
+        // busy. Append errors are ignored — heartbeats are advisory;
+        // point records fail loudly in the runner.
+        let beat_every = std::time::Duration::from_millis(heartbeat_ms);
+        let stop = &stop;
+        let journal = &journal;
+        let heartbeat = scope.spawn(move || {
+            let mut beat = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(beat_every);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                beat += 1;
+                let _ = journal.lock().expect("journal lock").append(
+                    SHARD_CONTROL_LABEL,
+                    dabench::core::supervise::STATUS_HEARTBEAT,
+                    &format!("beat={beat}"),
+                );
+            }
+        });
+        let outcomes = run_supervised_points(&points, &cfg, Some(journal), &replay);
+        stop.store(true, Ordering::SeqCst);
+        let _ = heartbeat.join();
+        outcomes
+    })?;
+
+    let mut report = RunReport::default();
+    for ((_, name), outcome) in points.iter().zip(&outcomes) {
+        report.record(name, outcome);
     }
     eprint!("{}", report.render());
     Ok(if report.is_clean() {
@@ -477,6 +814,10 @@ fn usage() -> &'static str {
      \x20            --resume D    replay D's journal, re-run only missing points\n\
      \x20            --deadline-s S  wall-clock budget per point (watchdog)\n\
      \x20            --max-retries N retry transient platform errors N times\n\
+     \x20            --shards N    fan points out across N worker processes\n\
+     \x20            --max-respawns N  worker respawn budget per shard (default 2)\n\
+     \x20            --heartbeat-ms N  shard heartbeat interval (default 200)\n\
+     \x20            --shard-stall-s S kill a shard with no journal growth for S s\n\
      \x20            exit codes: 0 clean, 2 some points failed (see stderr report)\n\
      serve options: --addr A:P (default 127.0.0.1:0) --workers N --queue N\n\
      \x20              --cache N --retry-after-ms N --deadline-s S --max-retries N\n\
@@ -628,6 +969,15 @@ fn main() -> ExitCode {
     let code = if cmd == "all" {
         // `all` opens one point context per experiment itself.
         match run_all(rest) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if cmd == "shard-worker" {
+        // Hidden: one shard of a `dabench all --shards N` fleet.
+        match run_shard_worker(rest) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -24,6 +24,7 @@
 pub mod bench_suite;
 pub mod experiments;
 pub mod render;
+pub mod runner;
 pub mod serve;
 pub mod suite;
 
