@@ -169,6 +169,81 @@ fn profile_inner(
     })
 }
 
+/// One platform's admission wall for a serving workload shape, as probed
+/// by [`max_admissible_batch`]: the largest batch the platform admits,
+/// plus the evidence for why the next size is rejected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionProbe {
+    /// Largest admitted batch size (0 when even batch 1 OOMs).
+    pub max_batch: u64,
+    /// Memory level the first rejected size was checked against.
+    pub kv_level: String,
+    /// Bytes required at `max_batch + 1` — the first rejected size
+    /// (`u64::MAX` when that size overflows workload validation).
+    pub over_required_bytes: u64,
+    /// Capacity the rejected size was checked against.
+    pub over_capacity_bytes: u64,
+}
+
+/// Probe the admission wall of `workload`'s shape on one platform:
+/// the largest batch size in `1..=limit` whose weights + peak KV cache
+/// fit the platform's KV level. `model_for` maps a candidate workload to
+/// the platform's [`InferModel`] — a closure rather than a fixed model
+/// because some platforms (the IPU's tile-SRAM/DDR cliff) pick their
+/// serving memory level per workload.
+///
+/// Admission is assumed monotone in batch (required bytes grow with
+/// batch; a level switch only ever lands in a larger level), which the
+/// binary search exploits. The `dabench gen` invariant checker
+/// cross-validates this assumption against a linear batch ladder
+/// ([`crate::gen::Invariant::OomWallConsistent`]).
+#[must_use]
+pub fn max_admissible_batch<F>(
+    workload: &InferenceWorkload,
+    limit: u64,
+    mut model_for: F,
+) -> AdmissionProbe
+where
+    F: FnMut(&InferenceWorkload) -> InferModel,
+{
+    // Mirrors `profile_inference`'s admission check exactly: weights +
+    // peak KV cache against the KV level's capacity.
+    let mut probe = |b: u64| match workload.with_batch_size(b) {
+        Ok(w) => {
+            let m = model_for(&w);
+            let required = w.weight_bytes().saturating_add(w.kv_cache_peak_bytes());
+            (required <= m.kv_capacity_bytes, Some((m, required)))
+        }
+        Err(_) => (false, None),
+    };
+    let limit = limit.max(1);
+    // Invariant: `lo` fits (0 is the vacuous sentinel), `hi` does not
+    // (limit + 1 is treated as beyond the caller's cap).
+    let (mut lo, mut hi) = (0_u64, limit + 1);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid).0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (_, over) = probe(lo + 1);
+    let (kv_level, over_required_bytes, over_capacity_bytes) = match over {
+        Some((m, required)) => (m.kv_level, required, m.kv_capacity_bytes),
+        None => {
+            let m = model_for(workload);
+            (m.kv_level, u64::MAX, m.kv_capacity_bytes)
+        }
+    };
+    AdmissionProbe {
+        max_batch: lo,
+        kv_level,
+        over_required_bytes,
+        over_capacity_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +346,32 @@ mod tests {
         assert!(profile_inference(&m, &w16).is_err());
         let w8 = w16.with_kv_precision(Precision::Fp8);
         assert!(profile_inference(&m, &w8).is_ok());
+    }
+
+    #[test]
+    fn admission_probe_finds_the_exact_wall() {
+        let m = gpu_like();
+        let probe = max_admissible_batch(&workload(1), 4096, |_| m.clone());
+        assert!(probe.max_batch >= 1, "a 7B model fits an 80 GiB level");
+        // The wall is exact: max_batch fits, max_batch + 1 does not.
+        let fits = profile_inference(
+            &m,
+            &workload(probe.max_batch).with_batching(BatchingMode::Static),
+        );
+        assert!(fits.is_ok());
+        let over = profile_inference(&m, &workload(probe.max_batch + 1));
+        assert!(matches!(over, Err(PlatformError::OutOfMemory { .. })));
+        assert_eq!(probe.kv_level, "hbm");
+        assert!(probe.over_required_bytes > probe.over_capacity_bytes);
+    }
+
+    #[test]
+    fn admission_probe_reports_zero_when_weights_overflow() {
+        let mut tiny = gpu_like();
+        tiny.kv_capacity_bytes = 1024; // nothing fits
+        let probe = max_admissible_batch(&workload(1), 64, |_| tiny.clone());
+        assert_eq!(probe.max_batch, 0);
+        assert!(probe.over_required_bytes > probe.over_capacity_bytes);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod bench;
 pub mod cache;
 mod error;
 pub mod faults;
+pub mod gen;
 pub mod infer;
 pub mod jsonl;
 pub mod lru;
@@ -76,7 +77,10 @@ pub use bench::{
 pub use cache::{cache_stats, tier1_cached, CacheKey, CacheStats, Memoizable};
 pub use error::PlatformError;
 pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultKind, FaultSet, RecoveryCost};
-pub use infer::{profile_inference, InferModel, InferenceReport};
+pub use gen::{FaultIntensity, Invariant, MemoryEdge, ModelFamily, Scenario, ScenarioKind, Tier};
+pub use infer::{
+    max_admissible_batch, profile_inference, AdmissionProbe, InferModel, InferenceReport,
+};
 pub use lru::{LruStore, StoreStats};
 pub use obs::{Phase, PointTrace, Recorder};
 pub use parallel::{jobs, par_map, par_map_with, set_jobs};

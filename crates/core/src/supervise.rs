@@ -379,6 +379,13 @@ pub enum Injection {
         /// injection clears.
         failures: u32,
     },
+    /// Perturb one observation fed to the `dabench gen` metamorphic
+    /// invariant checker so the named invariant is violated
+    /// (`gen=violate:<invariant>`) — the seeded counterexample proving
+    /// the checker fails loudly. A no-op in the supervised loop itself;
+    /// the gen driver reads it from the injection map and applies the
+    /// perturbation to its own derived observations.
+    Violate(crate::gen::Invariant),
 }
 
 impl Injection {
@@ -411,7 +418,7 @@ impl Injection {
             // catch_unwind would still kill the process, but keeping the
             // two planes separate makes counted semantics unambiguous:
             // attempts count retries, starts count process lives).
-            Injection::Abort { .. } | Injection::Exit { .. } => Ok(()),
+            Injection::Abort { .. } | Injection::Exit { .. } | Injection::Violate(_) => Ok(()),
         }
     }
 
@@ -463,60 +470,65 @@ pub fn parse_injection_clauses(raw: &str) -> Result<BTreeMap<String, Injection>,
         let (name, action) = clause
             .split_once('=')
             .ok_or_else(|| format!("DABENCH_INJECT `{clause}`: expected name=action"))?;
-        let injection = if action == "panic" {
-            Injection::Panic
-        } else if let Some(secs) = action.strip_prefix("sleep:") {
-            Injection::SleepSecs(
-                secs.parse()
-                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
-            )
-        } else if let Some(spec) = action.strip_prefix("err:") {
-            let (kind, failures) = match spec.split_once(':') {
-                Some((kind, count)) => (
-                    kind,
-                    count
-                        .parse::<u32>()
+        let injection =
+            if action == "panic" {
+                Injection::Panic
+            } else if let Some(secs) = action.strip_prefix("sleep:") {
+                Injection::SleepSecs(
+                    secs.parse()
                         .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
-                ),
-                None => (spec, u32::MAX),
-            };
-            let kind = InjectedErrorKind::parse(kind).ok_or_else(|| {
-                format!(
-                    "DABENCH_INJECT `{clause}`: unknown error kind `{kind}` \
-                     (expected device_fault, compile_failure, oom, or unsupported)"
                 )
-            })?;
-            Injection::Err { kind, failures }
-        } else if action == "abort" {
-            Injection::Abort { failures: u32::MAX }
-        } else if let Some(count) = action.strip_prefix("abort:") {
-            Injection::Abort {
-                failures: count
-                    .parse::<u32>()
-                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
-            }
-        } else if let Some(spec) = action.strip_prefix("exit:") {
-            let (code, failures) = match spec.split_once(':') {
-                Some((code, count)) => (
-                    code,
-                    count
+            } else if let Some(spec) = action.strip_prefix("err:") {
+                let (kind, failures) = match spec.split_once(':') {
+                    Some((kind, count)) => (
+                        kind,
+                        count
+                            .parse::<u32>()
+                            .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+                    ),
+                    None => (spec, u32::MAX),
+                };
+                let kind = InjectedErrorKind::parse(kind).ok_or_else(|| {
+                    format!(
+                        "DABENCH_INJECT `{clause}`: unknown error kind `{kind}` \
+                     (expected device_fault, compile_failure, oom, or unsupported)"
+                    )
+                })?;
+                Injection::Err { kind, failures }
+            } else if action == "abort" {
+                Injection::Abort { failures: u32::MAX }
+            } else if let Some(count) = action.strip_prefix("abort:") {
+                Injection::Abort {
+                    failures: count
                         .parse::<u32>()
                         .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
-                ),
-                None => (spec, u32::MAX),
+                }
+            } else if let Some(name) = action.strip_prefix("violate:") {
+                Injection::Violate(crate::gen::Invariant::parse(name).ok_or_else(|| {
+                    format!("DABENCH_INJECT `{clause}`: unknown invariant `{name}`")
+                })?)
+            } else if let Some(spec) = action.strip_prefix("exit:") {
+                let (code, failures) = match spec.split_once(':') {
+                    Some((code, count)) => (
+                        code,
+                        count
+                            .parse::<u32>()
+                            .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+                    ),
+                    None => (spec, u32::MAX),
+                };
+                Injection::Exit {
+                    code: code
+                        .parse::<u8>()
+                        .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
+                    failures,
+                }
+            } else {
+                return Err(format!(
+                    "DABENCH_INJECT `{clause}`: expected panic, sleep:SECS, err:KIND[:N], \
+                 abort[:N], exit:CODE[:N], or violate:INVARIANT"
+                ));
             };
-            Injection::Exit {
-                code: code
-                    .parse::<u8>()
-                    .map_err(|e| format!("DABENCH_INJECT `{clause}`: {e}"))?,
-                failures,
-            }
-        } else {
-            return Err(format!(
-                "DABENCH_INJECT `{clause}`: expected panic, sleep:SECS, err:KIND[:N], \
-                 abort[:N], or exit:CODE[:N]"
-            ));
-        };
         map.insert(name.trim().to_owned(), injection);
     }
     Ok(map)

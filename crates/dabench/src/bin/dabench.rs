@@ -41,11 +41,11 @@ use dabench::core::shard::{
     ShardConfig, ShardOutcome, SyntheticFailure,
 };
 use dabench::core::supervise::{
-    parse_injections, Replay, RunJournal, RunReport, SupervisePolicy, SHARD_CONTROL_LABEL,
-    STATUS_SHARD_META,
+    parse_injections, Injection, Replay, RunJournal, RunReport, SupervisePolicy,
+    SHARD_CONTROL_LABEL, STATUS_SHARD_META,
 };
 use dabench::core::{jobs, set_jobs, tier1, Degradable, Platform, PointTrace};
-use dabench::experiments::{infer, summary, validation};
+use dabench::experiments::{gen as genx, infer, summary, validation};
 use dabench::faults::{render_report, resilience_sweep, PlanSpec};
 use dabench::gpu::GpuCluster;
 use dabench::ipu::Ipu;
@@ -53,7 +53,7 @@ use dabench::model::{BatchingMode, InferenceWorkload, ModelConfig, Precision, Tr
 use dabench::rdu::{CompilationMode, Rdu};
 use dabench::runner::{run_supervised_points, RunnerConfig};
 use dabench::serve::run_serve;
-use dabench::suite::{experiment_tables, render_experiment, EXPERIMENTS};
+use dabench::suite::{experiment_tables, point_index, render_experiment, EXPERIMENTS};
 use dabench::wse::Wse;
 use std::process::ExitCode;
 
@@ -350,8 +350,25 @@ fn parse_all_opts(args: &[String]) -> Result<AllOpts, String> {
 /// but the sweep itself survived.
 fn run_all(rest: &[String]) -> Result<ExitCode, String> {
     let opts = parse_all_opts(rest)?;
+    let order: Vec<String> = EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    let (report, _texts) = run_sweep(&order, &opts)?;
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// Run an arbitrary ordered list of supervised point labels through the
+/// journal/resume/shard machinery (`dabench all` and `dabench gen` both
+/// funnel through here). Each label must resolve via
+/// [`render_experiment`]; point indices come from [`point_index`].
+/// Prints every completed point's text to stdout in `order`, the run
+/// report to stderr, and returns the report plus the per-label texts
+/// (`None` for failed points) so callers can post-process results.
+fn run_sweep(order: &[String], opts: &AllOpts) -> Result<(RunReport, Vec<Option<String>>), String> {
     if opts.shards > 1 {
-        return run_all_sharded(&opts);
+        return run_sweep_sharded(order, opts);
     }
     let injections = parse_injections()?;
     let policy = SupervisePolicy {
@@ -359,13 +376,12 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
         max_retries: opts.max_retries,
         ..SupervisePolicy::default()
     };
-    let order: Vec<String> = EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
     let (journal, replay) = match &opts.run_dir {
         Some(dir) if opts.resume => {
             // A killed sharded parent leaves per-shard journals behind;
             // fold them into the combined journal first so `--resume`
             // works identically across the sharded layout.
-            fold_stale_shards(dir, &order)?;
+            fold_stale_shards(dir, order)?;
             let (j, replay) =
                 RunJournal::resume(dir).map_err(|e| format!("--resume {}: {e}", dir.display()))?;
             (Some(std::sync::Mutex::new(j)), replay)
@@ -404,7 +420,14 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let points: Vec<(usize, String)> = order.into_iter().enumerate().collect();
+    let points: Vec<(usize, String)> = order
+        .iter()
+        .map(|label| {
+            point_index(label)
+                .map(|i| (i, label.clone()))
+                .ok_or_else(|| format!("unknown point `{label}`"))
+        })
+        .collect::<Result<_, String>>()?;
     let cfg = RunnerConfig {
         policy,
         injections,
@@ -413,18 +436,18 @@ fn run_all(rest: &[String]) -> Result<ExitCode, String> {
     let outcomes = run_supervised_points(&points, &cfg, journal.as_ref(), &replay)?;
 
     let mut report = RunReport::default();
+    let mut texts = Vec::with_capacity(points.len());
     for ((_, name), outcome) in points.iter().zip(&outcomes) {
         report.record(name, outcome);
         if let Some(text) = outcome.value() {
             print!("{text}");
+            texts.push(Some(text.clone()));
+        } else {
+            texts.push(None);
         }
     }
     eprint!("{}", report.render());
-    Ok(if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(2)
-    })
+    Ok((report, texts))
 }
 
 /// Fold stale shard journals (left behind by a killed sharded parent)
@@ -451,16 +474,18 @@ fn fold_stale_shards(dir: &std::path::Path, order: &[String]) -> Result<(), Stri
     Ok(())
 }
 
-/// `dabench all --shards N`: partition the sweep across worker OS
-/// processes, supervise the fleet (heartbeat liveness, crash detection,
-/// bounded respawns), then merge the per-shard journals into the
-/// combined journal — stdout and journal byte-identical to a
-/// single-process run. See docs/sharding.md.
-fn run_all_sharded(opts: &AllOpts) -> Result<ExitCode, String> {
+/// `--shards N`: partition the sweep across worker OS processes,
+/// supervise the fleet (heartbeat liveness, crash detection, bounded
+/// respawns), then merge the per-shard journals into the combined
+/// journal — stdout and journal byte-identical to a single-process run.
+/// See docs/sharding.md.
+fn run_sweep_sharded(
+    order: &[String],
+    opts: &AllOpts,
+) -> Result<(RunReport, Vec<Option<String>>), String> {
     // Fail on malformed DABENCH_INJECT here, with the same message a
     // single-process run gives, rather than once per worker log.
     parse_injections()?;
-    let order: Vec<String> = EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
     let (dir, ephemeral) = match &opts.run_dir {
         Some(d) => (d.clone(), false),
         None => (
@@ -469,7 +494,7 @@ fn run_all_sharded(opts: &AllOpts) -> Result<ExitCode, String> {
         ),
     };
     if opts.resume {
-        fold_stale_shards(&dir, &order)?;
+        fold_stale_shards(&dir, order)?;
     } else {
         // Same refuse-to-clobber semantics as a single-process --run-dir;
         // the handle is dropped — in sharded mode only the merge step
@@ -596,15 +621,17 @@ fn run_all_sharded(opts: &AllOpts) -> Result<ExitCode, String> {
             }
         }
     }
-    let merged = merge_journals(&order, &sources, &synthetic);
+    let merged = merge_journals(order, &sources, &synthetic);
     write_merged(&dir, &merged.text).map_err(|e| format!("journal merge: {e}"))?;
     remove_shard_journals(&dir).map_err(|e| format!("shard journal cleanup: {e}"))?;
 
     let mut report = RunReport::default();
-    for label in &order {
+    let mut texts = Vec::with_capacity(order.len());
+    for label in order {
         match merged.points.get(label) {
             Some(p) if p.status == "completed" => {
                 print!("{}", p.data);
+                texts.push(Some(p.data.clone()));
                 if p.source == 0 && opts.resume {
                     report.record_status(label, "journaled", None);
                 } else {
@@ -621,13 +648,17 @@ fn run_all_sharded(opts: &AllOpts) -> Result<ExitCode, String> {
                     }
                 }
             }
-            Some(p) => report.record_status(label, &p.status, Some(p.data.clone())),
+            Some(p) => {
+                report.record_status(label, &p.status, Some(p.data.clone()));
+                texts.push(None);
+            }
             None => {
                 report.record_status(
                     label,
                     "failed",
                     Some("no journal record produced".to_owned()),
                 );
+                texts.push(None);
             }
         }
     }
@@ -648,14 +679,105 @@ fn run_all_sharded(opts: &AllOpts) -> Result<ExitCode, String> {
             );
         }
     }
-    Ok(if clean {
+    Ok((report, texts))
+}
+
+/// `dabench gen`: sample a seeded scenario population at a difficulty
+/// tier, evaluate every scenario on all four platforms through the
+/// supervised sweep (full `--run-dir`/`--resume`/`--shards` support),
+/// then print the ranking report and run the metamorphic invariant
+/// catalog over the journaled records.
+///
+/// Exit codes: 0 clean, 2 some points failed, 4 invariant violated.
+fn run_gen(rest: &[String]) -> Result<ExitCode, String> {
+    use dabench::core::gen::{population, Tier};
+    let mut tier = genx::DEFAULT_TIER;
+    let mut seed = genx::DEFAULT_SEED;
+    let mut count = genx::DEFAULT_COUNT;
+    let mut passthrough = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--list-tiers" => {
+                print!("{}", genx::render_tiers());
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--tier" => {
+                let name = value()?;
+                tier = Tier::parse(&name).ok_or_else(|| {
+                    format!(
+                        "--tier: unknown tier `{name}` (expected one of: {})",
+                        Tier::ALL
+                            .iter()
+                            .map(|t| t.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?;
+            }
+            "--seed" => seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--count" => {
+                count = value()?.parse().map_err(|e| format!("--count: {e}"))?;
+                if count == 0 {
+                    return Err("--count must be at least 1".to_owned());
+                }
+            }
+            other => passthrough.push(other.to_owned()),
+        }
+    }
+    let opts = parse_all_opts(&passthrough)?;
+    // `gen=violate:<invariant>` seeds a counterexample into the checker —
+    // the run must then fail loudly with exit code 4.
+    let inject = parse_injections()?.get("gen").and_then(|i| match i {
+        Injection::Violate(inv) => Some(*inv),
+        _ => None,
+    });
+
+    let scenarios = population(tier, seed, count);
+    print!("{}", genx::render_population(tier, seed, &scenarios));
+    println!();
+    let order: Vec<String> = scenarios.iter().map(|s| s.label()).collect();
+    let (report, texts) = run_sweep(&order, &opts)?;
+
+    // Everything downstream re-parses the journaled record texts, so a
+    // resumed or sharded run ranks exactly what a fresh run would.
+    let records: Vec<(u64, String)> = scenarios
+        .iter()
+        .zip(&texts)
+        .filter_map(|(s, text)| text.as_ref().map(|t| (s.index, t.clone())))
+        .collect();
+    let parsed: Vec<_> = records
+        .iter()
+        .filter_map(|(index, record)| {
+            genx::parse_record(record)
+                .map(|(_, obs)| (dabench::core::gen::sample(tier, seed, *index), obs))
+        })
+        .collect();
+    println!();
+    print!("{}", genx::render_results(&parsed));
+    println!();
+    print!("{}", genx::render_ranking(tier, &genx::ranking(&parsed)));
+    println!();
+    let outcome = genx::check_population(tier, seed, &records, inject);
+    print!("{}", genx::render_invariants(&outcome));
+    for v in &outcome.violations {
+        eprintln!("{v}");
+    }
+    Ok(if !outcome.violations.is_empty() {
+        ExitCode::from(4)
+    } else if report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
     })
 }
 
-/// Hidden `dabench shard-worker` mode, spawned by `run_all_sharded`: run
+/// Hidden `dabench shard-worker` mode, spawned by `run_sweep_sharded`: run
 /// the assigned points through the shared supervised loop against this
 /// shard's own journal (`journal.shard-K.jsonl`, resumed so a respawn
 /// re-adopts its predecessor's durable records), with a heartbeat thread
@@ -710,12 +832,11 @@ fn run_shard_worker(rest: &[String]) -> Result<ExitCode, String> {
     let points_arg = points_arg.ok_or("shard-worker needs --points")?;
     let mut points: Vec<(usize, String)> = Vec::new();
     for label in points_arg.split(',').filter(|s| !s.is_empty()) {
-        // Points keep their *global* experiment index: retry seeds and
-        // obs point paths must match a single-process run's exactly.
-        let index = EXPERIMENTS
-            .iter()
-            .position(|e| *e == label)
-            .ok_or_else(|| format!("shard-worker: unknown point `{label}`"))?;
+        // Points keep their *global* index (experiment position, or the
+        // generated scenario's population index): retry seeds and obs
+        // point paths must match a single-process run's exactly.
+        let index =
+            point_index(label).ok_or_else(|| format!("shard-worker: unknown point `{label}`"))?;
         points.push((index, label.to_owned()));
     }
     if points.is_empty() {
@@ -799,6 +920,7 @@ fn usage() -> &'static str {
        ablations                         design-choice ablations\n\
        sensitivity                       hardware-parameter elasticities\n\
        infer [opts]                      inference serving: TTFT + tokens/s, 4 platforms\n\
+       gen [opts]                        seeded scenario generator + ranking + invariants\n\
        csv <experiment>                  emit an experiment as CSV\n\
        check                             reproduction scorecard (all claims)\n\
        tier1 <wse|rdu-o0|rdu-o1|rdu-o3|ipu|gpu>  profile one workload\n\
@@ -826,11 +948,14 @@ fn usage() -> &'static str {
      infer options: --model <preset> --batch N --prompt N --decode N\n\
      \x20             --precision fp16|bf16|cb16|fp32 --kv-precision ...|fp8 --continuous\n\
      \x20             (no flags: the default batch x prompt x KV-precision sweep)\n\
+     gen options: --tier baby|easy|medium|hard|cosmic --seed N --count N\n\
+     \x20          --list-tiers   plus every `all` option (journal, resume, shards)\n\
+     \x20          exit codes: 0 clean, 2 point failures, 4 invariant violated\n\
      faults options: --seed N --plan dead=F,link=F,stalls=N,drop=N\n\
      bench options: --quick --list --out FILE --baseline FILE --gate PCT\n\
      \x20              --filter SUBSTR --record LABEL\n\
      \x20              exit codes: 0 clean, 3 regression past the gate\n\
-     csv targets: table1-4 fig6-12 ablations sensitivity infer"
+     csv targets: table1-4 fig6-12 ablations sensitivity infer gen"
 }
 
 /// Observability flags, accepted by every command: `--trace-out FILE`
@@ -969,6 +1094,15 @@ fn main() -> ExitCode {
     let code = if cmd == "all" {
         // `all` opens one point context per experiment itself.
         match run_all(rest) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if cmd == "gen" {
+        // `gen` supervises one point per generated scenario, like `all`.
+        match run_gen(rest) {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");

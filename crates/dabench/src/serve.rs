@@ -30,6 +30,7 @@ pub fn job_names() -> Vec<&'static str> {
     names.push("ablations");
     names.push("sensitivity");
     names.push("infer");
+    names.push("gen");
     names
 }
 
@@ -207,6 +208,10 @@ mod tests {
         assert!(
             exec.is_heavy("infer"),
             "the serving sweep crosses 4 platforms x 12 workloads"
+        );
+        assert!(
+            exec.is_heavy("gen"),
+            "the generated population evaluates, ranks and invariant-checks"
         );
     }
 

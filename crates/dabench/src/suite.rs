@@ -8,8 +8,8 @@
 
 use crate::core::par_map;
 use crate::experiments::{
-    ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, infer, sensitivity, table1, table2,
-    table3, table4,
+    ablations, fig10, fig11, fig12, fig6, fig7, fig8, fig9, gen, infer, sensitivity, table1,
+    table2, table3, table4,
 };
 use crate::render::Table;
 
@@ -18,6 +18,18 @@ pub const EXPERIMENTS: [&str; 11] = [
     "table1", "table2", "table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
     "fig12",
 ];
+
+/// Global point index of a supervised label: paper artifacts use their
+/// [`EXPERIMENTS`] position, generated scenarios their population index.
+/// Retry seeds and observability point paths key on this, so a shard
+/// worker must resolve the same index a single-process run would.
+#[must_use]
+pub fn point_index(label: &str) -> Option<usize> {
+    if let Some((_, _, index)) = dabench_core::gen::parse_label(label) {
+        return usize::try_from(index).ok();
+    }
+    EXPERIMENTS.iter().position(|e| *e == label)
+}
 
 /// The tables behind one paper artifact; `None` when the name is unknown.
 #[must_use]
@@ -54,6 +66,7 @@ pub fn experiment_tables(name: &str) -> Option<Vec<Table>> {
         ],
         "ablations" => ablation_tables(),
         "sensitivity" => vec![sensitivity::render(&sensitivity::run())],
+        "gen" => gen::default_tables(),
         _ => return None,
     })
 }
@@ -62,6 +75,13 @@ pub fn experiment_tables(name: &str) -> Option<Vec<Table>> {
 /// (each table followed by a newline, table2's pair joined specially).
 #[must_use]
 pub fn render_experiment(name: &str) -> Option<String> {
+    // `gen:<tier>:s<seed>:i<index>` labels address one generated scenario:
+    // the supervised runner and shard workers resolve every point through
+    // this function, so generated populations ride the same journal,
+    // resume and sharding machinery as the paper artifacts.
+    if let Some((tier, seed, index)) = dabench_core::gen::parse_label(name) {
+        return Some(gen::render_scenario(tier, seed, index));
+    }
     let tables = experiment_tables(name)?;
     let mut out = String::new();
     if name == "table2" {
@@ -133,5 +153,30 @@ mod tests {
     fn unknown_names_are_none() {
         assert!(experiment_tables("table9").is_none());
         assert!(render_experiment("").is_none());
+        assert!(render_experiment("gen:nope:s1:i0").is_none());
+    }
+
+    #[test]
+    fn gen_suite_and_scenario_labels_render() {
+        let tables = experiment_tables("gen").expect("gen suite");
+        assert_eq!(tables.len(), 4, "population, results, ranking, invariants");
+        let record = render_experiment("gen:baby:s42:i0").expect("scenario label");
+        assert!(
+            record.starts_with("gen-v1 label=gen:baby:s42:i0 "),
+            "{record}"
+        );
+        // The scenario renderer must agree with a direct driver call —
+        // shard workers rely on this equality for journal byte-identity.
+        use crate::experiments::gen as g;
+        use dabench_core::gen::Tier;
+        assert_eq!(record, g::render_scenario(Tier::Baby, 42, 0));
+    }
+
+    #[test]
+    fn point_index_covers_both_label_families() {
+        assert_eq!(point_index("table1"), Some(0));
+        assert_eq!(point_index("fig12"), Some(10));
+        assert_eq!(point_index("gen:hard:s7:i5"), Some(5));
+        assert_eq!(point_index("nope"), None);
     }
 }

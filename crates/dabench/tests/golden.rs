@@ -173,6 +173,32 @@ fn infer_csv_matches_golden() {
 }
 
 #[test]
+fn gen_tier_list_matches_golden() {
+    let r = run(&["gen", "--list-tiers"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("gen_tiers.stdout.golden", &r.stdout);
+}
+
+#[test]
+fn gen_baby_population_matches_golden() {
+    // Pins the whole `dabench gen` rendering end to end: the sampled
+    // population table (the seed-42 baby scenarios), every gen-v1 record,
+    // the results matrix, the Elo/Pareto ranking report, and the
+    // invariant summary. Any drift in the sampler, the platform models,
+    // or the report shapes fails here first.
+    let r = run(&["gen", "--tier", "baby", "--count", "8", "--seed", "42"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("gen_baby.stdout.golden", &r.stdout);
+}
+
+#[test]
+fn gen_csv_matches_golden() {
+    let r = run(&["csv", "gen"]);
+    assert_eq!(r.code, Some(0), "{}", r.stderr);
+    assert_golden("gen.csv.golden", &r.stdout);
+}
+
+#[test]
 fn check_metrics_table_matches_golden() {
     // Pins the observability layer end to end: phase attribution, counter
     // totals, span counts, and the table format itself. The model is

@@ -337,6 +337,64 @@ fn sigkill_then_resume_serves_byte_identical_results() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn gen_job_sheds_under_pressure_and_resumes_byte_identically() {
+    // The generated-population job is classified heavy: with the queue
+    // saturated it must shed instead of blocking. After a SIGKILL the
+    // journaled result replays from cache byte-identically.
+    let dir = temp_dir("gen-resume");
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+    let daemon = spawn_daemon(
+        &["--workers", "1", "--queue", "1", "--run-dir", dir_s],
+        Some("fig6=sleep:2,fig10=sleep:2"),
+    );
+
+    let addr = daemon.addr.clone();
+    let a = std::thread::spawn({
+        let addr = addr.clone();
+        move || Client::connect(&addr).submit("a", "fig6")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let b = std::thread::spawn({
+        let addr = addr.clone();
+        move || Client::connect(&addr).submit("b", "fig10")
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Queue full: the generated-population job is shed, not queued.
+    let mut c = daemon.connect();
+    let shed = c.submit("c", "gen");
+    assert!(shed.contains("\"status\":\"shed\""), "{shed}");
+
+    let a_reply = a.join().expect("a");
+    let b_reply = b.join().expect("b");
+    assert!(a_reply.contains("\"status\":\"ok\""), "{a_reply}");
+    assert!(b_reply.contains("\"status\":\"ok\""), "{b_reply}");
+
+    // With the queue drained the same job executes and is journaled.
+    let original = c.submit("d", "gen");
+    assert!(original.contains("\"status\":\"ok\""), "{original}");
+    assert!(original.contains("\"source\":\"executed\""), "{original}");
+    drop(c);
+    daemon.kill();
+
+    // Restart from the journal: the generated population replays from
+    // cache, byte-identical to the pre-kill rendering.
+    let resumed = spawn_daemon(&["--workers", "1", "--resume", dir_s], None);
+    let mut client = resumed.connect();
+    let replayed = client.submit("e", "gen");
+    assert!(replayed.contains("\"source\":\"cache\""), "{replayed}");
+    assert_eq!(
+        data_field(&original),
+        data_field(&replayed),
+        "replayed generated population must be byte-identical"
+    );
+    drop(client);
+    let (code, stderr) = resumed.drain_and_wait();
+    assert_eq!(code, Some(0), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[cfg(unix)]
 #[test]
 fn sigterm_drains_gracefully() {

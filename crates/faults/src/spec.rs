@@ -109,6 +109,29 @@ impl PlanSpec {
         }
     }
 
+    /// Build a spec from the generator's sampled [`FaultIntensity`]
+    /// (`dabench_core::gen`) — core cannot depend on this crate, so the
+    /// sampler carries plain intensities and this bridge re-validates
+    /// them on the way into a concrete fault plan.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanSpecError`] when the sampled fractions are out of range —
+    /// impossible for tier-menu draws, but the bridge must not trust its
+    /// input any more than the CLI parser does.
+    pub fn from_intensity(
+        intensity: &dabench_core::gen::FaultIntensity,
+    ) -> Result<Self, PlanSpecError> {
+        let spec = Self {
+            dead_fraction: intensity.dead_fraction,
+            link_retained: intensity.link_retained,
+            transient_stalls: intensity.transient_stalls,
+            dropped_devices: intensity.dropped_devices,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
     /// Whether the spec injects no faults at all.
     #[must_use]
     pub fn is_healthy(&self) -> bool {
@@ -258,6 +281,31 @@ mod tests {
             s.validate(),
             Err(PlanSpecError::OutOfRange { field: "link", .. })
         ));
+    }
+
+    #[test]
+    fn intensity_bridge_round_trips_and_validates() {
+        let healthy = dabench_core::gen::FaultIntensity::healthy();
+        let spec = PlanSpec::from_intensity(&healthy).unwrap();
+        assert!(spec.is_healthy());
+
+        let hot = dabench_core::gen::FaultIntensity {
+            dead_fraction: 0.2,
+            link_retained: 0.6,
+            transient_stalls: 4,
+            dropped_devices: 2,
+        };
+        let spec = PlanSpec::from_intensity(&hot).unwrap();
+        assert!((spec.dead_fraction - 0.2).abs() < 1e-12);
+        assert!((spec.link_retained - 0.6).abs() < 1e-12);
+        assert_eq!(spec.transient_stalls, 4);
+        assert_eq!(spec.dropped_devices, 2);
+
+        let bad = dabench_core::gen::FaultIntensity {
+            dead_fraction: 1.5,
+            ..healthy
+        };
+        assert!(PlanSpec::from_intensity(&bad).is_err());
     }
 
     #[test]

@@ -51,7 +51,7 @@ mod streaming;
 pub use chip::{WseCompilerParams, WseSpec};
 pub use compile::{compile, CompiledKernel, WseCompilation, WseMemoryReport};
 pub use degrade::compile_degraded;
-pub use infer::infer_model;
+pub use infer::{admission_probe, infer_model};
 pub use kernel::{kernels_of, Kernel, KernelKind};
 pub use placement::{healthy_runs, PlacedRect, Placement};
 pub use runtime::{execute, WseExecution};
