@@ -344,7 +344,11 @@ impl Scenario {
     #[must_use]
     pub fn flops(&self) -> f64 {
         match self.kind {
-            ScenarioKind::Train => self.training_workload().training_flops_per_step(),
+            ScenarioKind::Train => {
+                crate::compile::training_graph(&self.training_workload())
+                    .summary()
+                    .total_flops
+            }
             ScenarioKind::Infer => {
                 let w = self.inference_workload();
                 w.prefill_cost().flops + w.decode_cost().flops

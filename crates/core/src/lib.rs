@@ -53,6 +53,7 @@
 
 pub mod bench;
 pub mod cache;
+pub mod compile;
 mod error;
 pub mod faults;
 pub mod gen;
@@ -75,6 +76,7 @@ pub use bench::{
     iter_plan, regressions, BenchKind, BenchRecord, BenchReport, IterPlan, Regression, Summary,
 };
 pub use cache::{cache_stats, tier1_cached, CacheKey, CacheStats, Memoizable};
+pub use compile::{clear_compile_cache, is_incremental, set_incremental, training_graph};
 pub use error::PlatformError;
 pub use faults::{DeadRect, Degradable, DegradedProfile, Fault, FaultKind, FaultSet, RecoveryCost};
 pub use gen::{FaultIntensity, Invariant, MemoryEdge, ModelFamily, Scenario, ScenarioKind, Tier};

@@ -247,6 +247,11 @@ struct Ctx {
     fork_seq: u64,
     stack: Vec<(Phase, String)>,
     events: Vec<Event>,
+    /// Per-point compile cache (see [`crate::compile`]). Living inside the
+    /// point context makes incremental-compile hit/miss counters a pure
+    /// function of the point's own call sequence — never of which worker
+    /// thread or sweep neighbour ran first.
+    compile: crate::compile::CompileScratch,
 }
 
 impl Ctx {
@@ -258,6 +263,7 @@ impl Ctx {
             fork_seq: 0,
             stack: Vec::new(),
             events: Vec::new(),
+            compile: crate::compile::CompileScratch::default(),
         }
     }
 
@@ -332,6 +338,16 @@ fn enter_ctx<R>(path: Vec<u64>, label: String, f: impl FnOnce() -> R) -> R {
     let prev = CTX.with(|c| c.replace(Some(Ctx::new(path, label))));
     let _guard = CtxGuard { prev };
     f()
+}
+
+/// Run `f` against the open point context's compile scratch, or return
+/// `None` when no context is open on this thread. `f` must not re-enter
+/// the recorder (no [`span`]/[`counter`] calls) — the context is borrowed
+/// for the duration of the call.
+pub(crate) fn with_compile_scratch<R>(
+    f: impl FnOnce(&mut crate::compile::CompileScratch) -> R,
+) -> Option<R> {
+    CTX.with(|c| c.borrow_mut().as_mut().map(|ctx| f(&mut ctx.compile)))
 }
 
 fn current_path() -> Vec<u64> {

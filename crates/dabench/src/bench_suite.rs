@@ -7,9 +7,9 @@
 //! - every *experiment* benchmark times [`crate::suite::render_experiment`]
 //!   — the exact text path the CLI prints, so the harness and the CLI can
 //!   never drift apart;
-//! - the Tier-1 memo cache is cleared before each benchmark and repopulated
-//!   by the warmup batches, so timed samples measure the deterministic
-//!   steady state;
+//! - the Tier-1 memo cache and the incremental compile cache are cleared
+//!   before each benchmark and repopulated by the warmup batches, so timed
+//!   samples measure the deterministic steady state;
 //! - `cache_lookup_legacy` is a pinned replica of the string-keyed memo
 //!   lookup this repository used before the [`CacheKey`] rework; it stays
 //!   in the suite permanently so the before/after of that optimization
@@ -49,7 +49,7 @@ pub struct BenchCase {
 
 /// The full suite, in report order: every paper artifact, the scorecard,
 /// then the hot-path compile and micro benchmarks.
-pub const CASES: [BenchCase; 21] = [
+pub const CASES: [BenchCase; 23] = [
     BenchCase {
         name: "table1",
         kind: BenchKind::Experiment,
@@ -115,6 +115,14 @@ pub const CASES: [BenchCase; 21] = [
         kind: BenchKind::Compile,
     },
     BenchCase {
+        name: "graph_build_interned",
+        kind: BenchKind::Compile,
+    },
+    BenchCase {
+        name: "sweep_incremental_compile",
+        kind: BenchKind::Compile,
+    },
+    BenchCase {
         name: "journal_merge_1k",
         kind: BenchKind::Compile,
     },
@@ -172,6 +180,40 @@ pub fn make_body(name: &str) -> Box<dyn FnMut()> {
             let w = deep_compile_workload();
             Box::new(move || {
                 black_box(compile(&spec, &params, &w, None)).expect("deep compile succeeds");
+            })
+        }
+        "graph_build_interned" => {
+            // Cold construction of the interned arena graph for the deep
+            // 72-layer workload: one interner, contiguous node/edge
+            // storage, CSR adjacency — no memoization in the loop (the
+            // compile cache is bypassed by calling the builder directly).
+            let w = deep_compile_workload();
+            Box::new(move || {
+                black_box(crate::graph::GraphBuilder::for_workload(&w));
+            })
+        }
+        "sweep_incremental_compile" => {
+            // A 16-point batch-size sweep compiled through the incremental
+            // cache: the body clears the compile cache, pays one full
+            // build, then 15 diff-and-patch recompilations (same topology,
+            // costs patched in place). This is the sweep-side win of the
+            // interned-graph rework; compare against `graph_build_interned`
+            // × 16 for the non-incremental cost.
+            let points: Vec<TrainingWorkload> = (1..=16)
+                .map(|i| {
+                    TrainingWorkload::new(
+                        ModelConfig::gpt2_probe(768, 72),
+                        16 * i,
+                        1024,
+                        Precision::Fp16,
+                    )
+                })
+                .collect();
+            Box::new(move || {
+                crate::core::clear_compile_cache();
+                for w in &points {
+                    black_box(crate::core::training_graph(w));
+                }
             })
         }
         "journal_merge_1k" => {
@@ -498,6 +540,7 @@ pub fn run_bench(args: &[String]) -> Result<u8, String> {
         // Identical cache state for every run: cleared here, repopulated
         // by setup + warmup, hit during timed samples.
         clear_tier1_cache();
+        crate::core::clear_compile_cache();
         let mut body = make_body(case.name);
         let sleep = injections.get(case.name).copied();
         let pre = move || {

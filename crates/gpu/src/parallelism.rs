@@ -120,7 +120,10 @@ fn megatron_inner(
     let num_micro = local_batch.div_ceil(micro).max(1);
 
     // Compute: the replica's share of the step FLOPs, spread over tp×pp.
-    let replica_flops = workload.training_flops_per_step() / f64::from(config.dp);
+    let step_flops = dabench_core::compile::training_graph(workload)
+        .summary()
+        .total_flops;
+    let replica_flops = step_flops / f64::from(config.dp);
     let per_gpu_rate = spec.peak_tflops * 1e12 * spec.mfu;
     let compute_time = replica_flops / (f64::from(config.tp * config.pp) * per_gpu_rate);
 

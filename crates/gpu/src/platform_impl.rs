@@ -65,7 +65,11 @@ impl GpuCluster {
                 used_bytes: state,
                 capacity_bytes: g.hbm_bytes,
             }],
-            achieved_tflops: workload.training_flops_per_step() / run.step_time_s / 1e12,
+            achieved_tflops: dabench_core::compile::training_graph(workload)
+                .summary()
+                .total_flops
+                / run.step_time_s
+                / 1e12,
             throughput_tokens_per_s: run.tokens_per_s,
             step_time_s: run.step_time_s,
         })

@@ -48,15 +48,15 @@ impl GraphStats {
         let mut by_phase: BTreeMap<&'static str, f64> = BTreeMap::new();
         let mut matmul = 0.0;
         for (_, op) in g.iter() {
-            *by_class.entry(op.class).or_default() += 1;
-            let phase = match op.phase {
+            *by_class.entry(op.class()).or_default() += 1;
+            let phase = match op.phase() {
                 Phase::Forward => "forward",
                 Phase::Backward => "backward",
                 Phase::Update => "update",
             };
-            *by_phase.entry(phase).or_default() += op.flops;
-            if op.class.is_matmul() {
-                matmul += op.flops;
+            *by_phase.entry(phase).or_default() += op.flops();
+            if op.class().is_matmul() {
+                matmul += op.flops();
             }
         }
         let levels = g.levels();

@@ -1,20 +1,25 @@
 //! Construction of training-step dataflow graphs.
 
-use crate::graph::{DataflowGraph, NodeId};
+use crate::graph::{DataflowGraph, NodeId, NodeRef};
+use crate::intern::Interner;
 use dabench_model::ops::{self, Op, OpClass, Phase};
 use dabench_model::{ModelConfig, TrainingWorkload};
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Builds [`DataflowGraph`]s for complete LLM training steps.
 ///
-/// The builder consumes the flat operator list from
-/// [`dabench_model::ops::training_step_ops`] and reconstructs the real
+/// The builder consumes the allocation-free operator records from
+/// [`dabench_model::ops::step_records`] and reconstructs the real
 /// dependency structure:
 ///
 /// - the forward chain (embedding → layer 0 → … → loss), including the
 ///   residual skip edges inside each decoder block;
 /// - the backward chain mirroring it in reverse, with mirrored skips;
 /// - gradient → optimizer edges from every parameterized backward op.
+///
+/// Names are rendered once into the graph's interner through a reused
+/// scratch buffer; no per-op `String` is ever allocated on this path.
 ///
 /// # Example
 ///
@@ -30,6 +35,20 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct GraphBuilder;
 
+/// Index of the forward op `l{l}.{label}.fwd`, or `None` when the model
+/// family omits it (e.g. `rope` on learned-positional models).
+fn layer_get(interner: &Interner, buf: &mut String, l: u64, label: &str) -> Option<usize> {
+    buf.clear();
+    let _ = write!(buf, "l{l}.{label}.fwd");
+    interner.get(buf).map(|s| s.0 as usize)
+}
+
+/// Like [`layer_get`] but for ops every decoder block must have.
+fn layer_at(interner: &Interner, buf: &mut String, l: u64, label: &str) -> usize {
+    layer_get(interner, buf, l, label)
+        .unwrap_or_else(|| panic!("op catalogue missing `l{l}.{label}.fwd`"))
+}
+
 impl GraphBuilder {
     /// Build the dataflow graph of one training step of `cfg`.
     ///
@@ -39,19 +58,39 @@ impl GraphBuilder {
     /// indicates a bug in the op catalogue, not user error).
     #[must_use]
     pub fn training_step(cfg: &ModelConfig, batch: u64, seq: u64) -> DataflowGraph {
-        let ops = ops::training_step_ops(cfg, batch, seq);
-        let index: HashMap<String, usize> = ops
-            .iter()
-            .enumerate()
-            .map(|(i, op)| (op.name.clone(), i))
-            .collect();
-        let at = |name: &str| -> usize {
-            *index
-                .get(name)
-                .unwrap_or_else(|| panic!("op catalogue missing `{name}`"))
-        };
+        let records = ops::step_records(cfg, batch, seq);
+        let n = records.len();
 
-        let mut edges: Vec<(usize, usize)> = Vec::new();
+        // Intern every name in node order. All names are distinct, so the
+        // interner assigns `Symbol(i)` to node `i` — name lookups during
+        // edge construction resolve straight to node indices.
+        let mut interner = Interner::with_capacity(n, 18);
+        let mut names = Vec::with_capacity(n);
+        let mut classes = Vec::with_capacity(n);
+        let mut phases = Vec::with_capacity(n);
+        let mut layers = Vec::with_capacity(n);
+        let mut costs = Vec::with_capacity(n);
+        let mut buf = String::new();
+        for r in &records {
+            r.write_name(&mut buf);
+            names.push(interner.intern(&buf));
+            classes.push(r.class);
+            phases.push(r.phase);
+            layers.push(r.layer);
+            costs.push(r.cost);
+        }
+
+        // Record layout of `step_records`: forward ops 0..f, then the
+        // backward ops as the forward list reversed (f..2f), then the
+        // optimizer (2f). So the backward twin of forward op `i` sits at
+        // `2f - 1 - i` — no name lookups needed for the mirror pass.
+        let f = (n - 1) / 2;
+        debug_assert_eq!(interner.resolve(names[f - 1]), "loss.fwd");
+        debug_assert_eq!(interner.resolve(names[f]), "loss.bwd");
+        debug_assert_eq!(interner.resolve(names[n - 1]), "optimizer.upd");
+        let bwd_of = |i: usize| 2 * f - 1 - i;
+
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(6 * n);
 
         // --- Forward chain with residual skips ---
         //
@@ -59,12 +98,13 @@ impl GraphBuilder {
         //   in -> norm1 -> qkv -> [rope] -> scores -> softmax -> context
         //      -> out_proj -> residual1 -> norm2 -> mlp... -> residual2
         // with skips  in -> residual1  and  residual1 -> residual2.
-        let mut prev_out = at("embedding.fwd");
+        let mut prev_out = 0usize; // embedding.fwd
+        debug_assert_eq!(interner.resolve(names[0]), "embedding.fwd");
         for l in 0..cfg.num_layers {
-            let n = |label: &str| at(&format!("l{l}.{label}.fwd"));
             let block_in = prev_out;
-            edges.push((block_in, n("norm1")));
-            let mut cur = n("norm1");
+            let norm1 = layer_at(&interner, &mut buf, l, "norm1");
+            edges.push((block_in, norm1));
+            let mut cur = norm1;
             for label in [
                 "qkv_proj",
                 "rope",
@@ -73,44 +113,46 @@ impl GraphBuilder {
                 "attn_context",
                 "out_proj",
             ] {
-                let full = format!("l{l}.{label}.fwd");
-                if let Some(&next) = index.get(&full) {
+                if let Some(next) = layer_get(&interner, &mut buf, l, label) {
                     edges.push((cur, next));
                     cur = next;
                 }
             }
             // residual1 <- out_proj + skip from block input.
-            edges.push((cur, n("residual1")));
-            edges.push((block_in, n("residual1")));
-            let resid1 = n("residual1");
+            let resid1 = layer_at(&interner, &mut buf, l, "residual1");
+            edges.push((cur, resid1));
+            edges.push((block_in, resid1));
 
-            edges.push((resid1, n("norm2")));
-            let norm2 = n("norm2");
+            let norm2 = layer_at(&interner, &mut buf, l, "norm2");
+            edges.push((resid1, norm2));
             // MLP: up (and gate) feed the activation, activation feeds down.
-            edges.push((norm2, n("mlp_up")));
-            let act = n("act_fn");
-            edges.push((n("mlp_up"), act));
-            if let Some(&gate) = index.get(&format!("l{l}.mlp_gate.fwd")) {
+            let mlp_up = layer_at(&interner, &mut buf, l, "mlp_up");
+            edges.push((norm2, mlp_up));
+            let act = layer_at(&interner, &mut buf, l, "act_fn");
+            edges.push((mlp_up, act));
+            if let Some(gate) = layer_get(&interner, &mut buf, l, "mlp_gate") {
                 edges.push((norm2, gate));
                 edges.push((gate, act));
             }
-            edges.push((act, n("mlp_down")));
-            edges.push((n("mlp_down"), n("residual2")));
-            edges.push((resid1, n("residual2")));
-            prev_out = n("residual2");
+            let mlp_down = layer_at(&interner, &mut buf, l, "mlp_down");
+            edges.push((act, mlp_down));
+            let resid2 = layer_at(&interner, &mut buf, l, "residual2");
+            edges.push((mlp_down, resid2));
+            edges.push((resid1, resid2));
+            prev_out = resid2;
         }
-        edges.push((prev_out, at("final_norm.fwd")));
-        edges.push((at("final_norm.fwd"), at("lm_head.fwd")));
-        edges.push((at("lm_head.fwd"), at("loss.fwd")));
+        // prev_out -> final_norm -> lm_head -> loss, by record position.
+        edges.push((prev_out, f - 3));
+        edges.push((f - 3, f - 2));
+        edges.push((f - 2, f - 1));
+        debug_assert_eq!(interner.resolve(names[f - 3]), "final_norm.fwd");
 
         // --- Backward: mirror every forward edge, reversed, between the
         //     corresponding .bwd nodes; seed from loss.fwd -> loss.bwd. ---
-        let bwd_name = |i: usize| ops[i].name.replace(".fwd", ".bwd");
         let fwd_edges = edges.clone();
-        edges.push((at("loss.fwd"), at("loss.bwd")));
+        edges.push((f - 1, f));
         for &(a, b) in &fwd_edges {
-            let (ba, bb) = (at(&bwd_name(b)), at(&bwd_name(a)));
-            edges.push((ba, bb));
+            edges.push((bwd_of(b), bwd_of(a)));
         }
         // The backward of a parameterized op also needs its forward input
         // activation; that dependency is already implied by program order on
@@ -118,9 +160,9 @@ impl GraphBuilder {
         // duplicate activation edges.
 
         // --- Optimizer depends on every parameterized backward op. ---
-        let opt = at("optimizer.upd");
-        for (i, op) in ops.iter().enumerate() {
-            if op.phase == Phase::Backward && op.params > 0 {
+        let opt = n - 1;
+        for (i, r) in records.iter().enumerate() {
+            if r.phase == Phase::Backward && r.cost.params > 0 {
                 edges.push((i, opt));
             }
         }
@@ -128,7 +170,8 @@ impl GraphBuilder {
         edges.sort_unstable();
         edges.dedup();
 
-        DataflowGraph::from_parts(ops, &edges).expect("builder produced invalid graph")
+        DataflowGraph::from_interned(interner, names, classes, phases, layers, costs, &edges)
+            .expect("builder produced invalid graph")
     }
 
     /// Build the graph for a [`TrainingWorkload`].
@@ -141,7 +184,7 @@ impl GraphBuilder {
     #[must_use]
     pub fn forward_only(cfg: &ModelConfig, batch: u64, seq: u64) -> DataflowGraph {
         let full = Self::training_step(cfg, batch, seq);
-        let (nodes, edges) = Self::subgraph_parts(&full, |op| op.phase == Phase::Forward);
+        let (nodes, edges) = Self::subgraph_parts(&full, |op| op.phase() == Phase::Forward);
         DataflowGraph::from_parts(nodes, &edges).expect("forward subgraph invalid")
     }
 
@@ -152,7 +195,7 @@ impl GraphBuilder {
     pub fn prefill(cfg: &ModelConfig, batch: u64, prompt_len: u64) -> DataflowGraph {
         let full = Self::training_step(cfg, batch, prompt_len);
         let (nodes, edges) = Self::subgraph_parts(&full, |op| {
-            op.phase == Phase::Forward && op.class != OpClass::Loss
+            op.phase() == Phase::Forward && op.class() != OpClass::Loss
         });
         DataflowGraph::from_parts(nodes, &edges).expect("prefill subgraph invalid")
     }
@@ -166,7 +209,7 @@ impl GraphBuilder {
     pub fn decode_step(cfg: &ModelConfig, batch: u64, ctx: u64) -> DataflowGraph {
         let full = Self::training_step(cfg, batch, 1);
         let (mut nodes, edges) = Self::subgraph_parts(&full, |op| {
-            op.phase == Phase::Forward && op.class != OpClass::Loss
+            op.phase() == Phase::Forward && op.class() != OpClass::Loss
         });
         for op in &mut nodes {
             if matches!(
@@ -188,16 +231,16 @@ impl GraphBuilder {
     /// ops satisfying `keep`.
     fn subgraph_parts(
         full: &DataflowGraph,
-        keep: impl Fn(&Op) -> bool,
+        keep: impl Fn(NodeRef<'_>) -> bool,
     ) -> (Vec<Op>, Vec<(usize, usize)>) {
         let kept: Vec<NodeId> = full
             .iter()
-            .filter(|(_, op)| keep(op))
+            .filter(|&(_, op)| keep(op))
             .map(|(id, _)| id)
             .collect();
         let remap: HashMap<NodeId, usize> =
             kept.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-        let nodes: Vec<Op> = kept.iter().map(|&id| full.op(id).clone()).collect();
+        let nodes: Vec<Op> = kept.iter().map(|&id| full.op(id).to_op()).collect();
         let mut edges = Vec::new();
         for &id in &kept {
             for &s in full.succs(id) {
@@ -214,7 +257,7 @@ impl GraphBuilder {
 #[must_use]
 pub fn layer_nodes(g: &DataflowGraph, layer: u64) -> Vec<NodeId> {
     g.iter()
-        .filter(|(_, op)| op.layer == Some(layer))
+        .filter(|&(_, op)| op.layer() == Some(layer))
         .map(|(id, _)| id)
         .collect()
 }
@@ -223,7 +266,7 @@ pub fn layer_nodes(g: &DataflowGraph, layer: u64) -> Vec<NodeId> {
 #[must_use]
 pub fn class_nodes(g: &DataflowGraph, class: OpClass) -> Vec<NodeId> {
     g.iter()
-        .filter(|(_, op)| op.class == class)
+        .filter(|&(_, op)| op.class() == class)
         .map(|(id, _)| id)
         .collect()
 }
@@ -280,7 +323,7 @@ mod tests {
     fn forward_only_has_no_backward_nodes() {
         let fwd = GraphBuilder::forward_only(&ModelConfig::gpt2_probe(768, 2), 1, 64);
         fwd.validate().unwrap();
-        assert!(fwd.iter().all(|(_, op)| op.phase == Phase::Forward));
+        assert!(fwd.iter().all(|(_, op)| op.phase() == Phase::Forward));
         assert!(fwd.find("loss.fwd").is_some());
     }
 
@@ -291,7 +334,7 @@ mod tests {
         p.validate().unwrap();
         assert!(p.find("loss.fwd").is_none());
         assert!(p.find("lm_head.fwd").is_some());
-        assert!(p.iter().all(|(_, op)| op.phase == Phase::Forward));
+        assert!(p.iter().all(|(_, op)| op.phase() == Phase::Forward));
         // Exactly one node fewer than the forward-only graph.
         let fwd = GraphBuilder::forward_only(&cfg, 1, 64);
         assert_eq!(p.node_count() + 1, fwd.node_count());
@@ -306,14 +349,18 @@ mod tests {
         long.validate().unwrap();
         let attn_flops = |g: &DataflowGraph| -> f64 {
             g.iter()
-                .filter(|(_, op)| op.class == OpClass::AttnScores)
-                .map(|(_, op)| op.flops)
+                .filter(|&(_, op)| op.class() == OpClass::AttnScores)
+                .map(|(_, op)| op.flops())
                 .sum()
         };
         // Score FLOPs scale linearly with cached context.
         assert!((attn_flops(&long) / attn_flops(&short) - 8.0).abs() < 1e-9);
         // Non-attention ops (the GEMMs on the single new token) do not.
-        let qkv = |g: &DataflowGraph| g.find("l0.qkv_proj.fwd").map(|id| g.op(id).flops).unwrap();
+        let qkv = |g: &DataflowGraph| {
+            g.find("l0.qkv_proj.fwd")
+                .map(|id| g.op(id).flops())
+                .unwrap()
+        };
         assert!((qkv(&long) - qkv(&short)).abs() < f64::EPSILON);
     }
 
@@ -325,7 +372,7 @@ mod tests {
         assert!(g.find("loss.fwd").is_none());
         // Softmax output spans the cached context.
         let sm = g.find("l0.softmax.fwd").unwrap();
-        assert!(g.op(sm).out_elems >= 256);
+        assert!(g.op(sm).out_elems() >= 256);
     }
 
     #[test]
@@ -343,11 +390,11 @@ mod tests {
         let nodes = layer_nodes(&g, 0);
         let fwd = nodes
             .iter()
-            .filter(|&&id| g.op(id).phase == Phase::Forward)
+            .filter(|&&id| g.op(id).phase() == Phase::Forward)
             .count();
         let bwd = nodes
             .iter()
-            .filter(|&&id| g.op(id).phase == Phase::Backward)
+            .filter(|&&id| g.op(id).phase() == Phase::Backward)
             .count();
         assert_eq!(fwd, bwd);
         assert!(fwd >= 12);
@@ -365,6 +412,37 @@ mod tests {
         // Exactly one forward source (embedding.fwd).
         let sources: Vec<_> = g.node_ids().filter(|&id| g.preds(id).is_empty()).collect();
         assert_eq!(sources.len(), 1);
-        assert_eq!(g.op(sources[0]).name, "embedding.fwd");
+        assert_eq!(g.op(sources[0]).name(), "embedding.fwd");
+    }
+
+    #[test]
+    fn builder_matches_legacy_string_construction() {
+        // Rebuild the same step from the legacy `Vec<Op>` path and compare
+        // full topology: same names in the same node order, same edge set.
+        for cfg in [
+            ModelConfig::gpt2_probe(768, 3),
+            ModelConfig::llama2_probe(512, 2),
+        ] {
+            let fast = GraphBuilder::training_step(&cfg, 2, 128);
+            let ops = ops::training_step_ops(&cfg, 2, 128);
+            assert_eq!(fast.node_count(), ops.len());
+            for (id, node) in fast.iter() {
+                assert_eq!(node.name(), ops[id.0].name, "node {id}");
+                assert!((node.flops() - ops[id.0].flops).abs() < f64::EPSILON);
+            }
+            // The backward arithmetic shortcut must agree with name-based
+            // twin resolution for every backward node.
+            for (id, node) in fast.iter() {
+                if node.phase() == Phase::Backward {
+                    let twin = fast.forward_twin(id).expect("bwd node has fwd twin");
+                    assert_eq!(
+                        fast.op(twin).name(),
+                        node.name().replace(".bwd", ".fwd"),
+                        "twin of {}",
+                        node.name()
+                    );
+                }
+            }
+        }
     }
 }

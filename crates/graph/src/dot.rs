@@ -25,15 +25,18 @@ pub fn to_dot(g: &DataflowGraph, name: &str) -> String {
     let _ = writeln!(out, "digraph {name} {{");
     let _ = writeln!(out, "  rankdir=TB;");
     for (id, op) in g.iter() {
-        let shape = match op.phase {
+        let shape = match op.phase() {
             Phase::Forward => "box",
             Phase::Backward => "ellipse",
             Phase::Update => "diamond",
         };
+        // Labels resolve through the graph's interner: real operator
+        // names, never raw symbol ids.
         let _ = writeln!(
             out,
             "  {id} [label=\"{}\\n{:.2e} FLOPs\" shape={shape}];",
-            op.name, op.flops
+            op.name(),
+            op.flops()
         );
     }
     for id in g.node_ids() {
@@ -63,6 +66,24 @@ mod tests {
         assert!(text.contains("embedding.fwd"));
         assert!(text.contains("optimizer.upd"));
         assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn labels_are_resolved_names_not_symbol_ids() {
+        // Node lines carry the interned name resolved back to text; a raw
+        // symbol rendering would look like "label=\"12\\n…\"".
+        let g = GraphBuilder::training_step(&ModelConfig::gpt2_probe(768, 1), 1, 32);
+        let text = to_dot(&g, "t");
+        let id = g.find("l0.qkv_proj.fwd").unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("l0.qkv_proj.fwd"))
+            .expect("qkv node rendered by name");
+        assert!(
+            line.starts_with(&format!("  {id} [label=\"l0.qkv_proj.fwd\\n")),
+            "{line}"
+        );
+        assert!(line.ends_with("shape=box];"), "{line}");
     }
 
     #[test]

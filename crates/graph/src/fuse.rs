@@ -22,7 +22,7 @@ impl FusionGroup {
     /// Total FLOPs of the group.
     #[must_use]
     pub fn flops(&self, g: &DataflowGraph) -> f64 {
-        self.members.iter().map(|&id| g.op(id).flops).sum()
+        self.members.iter().map(|&id| g.op(id).flops()).sum()
     }
 }
 
@@ -55,7 +55,7 @@ pub fn fuse_into_matmuls(g: &DataflowGraph) -> Vec<FusionGroup> {
 
     // Pass 1: every matmul anchors its own group.
     for &NodeId(i) in &order {
-        if g.op(NodeId(i)).class.is_matmul() {
+        if g.op(NodeId(i)).class().is_matmul() {
             group_of[i] = i;
         }
     }
@@ -162,7 +162,7 @@ mod tests {
         let groups = fuse_into_matmuls(&g);
         let matmul_anchored = groups
             .iter()
-            .filter(|gr| g.op(gr.anchor).class.is_matmul())
+            .filter(|gr| g.op(gr.anchor).class().is_matmul())
             .count();
         assert!(
             matmul_anchored * 2 > groups.len(),

@@ -1,10 +1,19 @@
 //! The dataflow DAG type.
+//!
+//! Nodes live in contiguous arenas: one `Vec` per attribute (interned
+//! name, class, phase, layer, cost) plus CSR adjacency, instead of a
+//! `Vec<Op>` of heap-allocated names. The immutable *topology* (names,
+//! classes, adjacency) is shared behind an `Arc` so that incremental
+//! recompilation can re-cost an existing graph without rebuilding or
+//! copying its structure (see [`DataflowGraph::with_costs`]).
 
-use dabench_model::ops::Op;
+use crate::intern::{Interner, Symbol};
+use dabench_model::ops::{Op, OpClass, OpCost, Phase};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a node in a [`DataflowGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -17,6 +26,10 @@ impl fmt::Display for NodeId {
 }
 
 /// Errors produced by graph construction and validation.
+///
+/// Variants carry the *resolved* operator name (looked up through the
+/// graph's interner), never a raw symbol id, so error text stays
+/// human-readable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// The graph contains a cycle involving the named node.
@@ -42,11 +55,144 @@ impl fmt::Display for GraphError {
 
 impl Error for GraphError {}
 
+/// Whole-step aggregate costs, accumulated once at graph construction in
+/// node order (so floating-point sums are bitwise reproducible) and read
+/// by the platform compilers instead of re-walking the operator list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepSummary {
+    /// FLOPs over all nodes.
+    pub total_flops: f64,
+    /// FLOPs of nodes attributed to a decoder layer (`layer.is_some()`).
+    pub layer_flops: f64,
+    /// Forward-phase FLOPs of decoder layer 0.
+    pub layer0_forward_flops: f64,
+    /// Forward-phase output elements of decoder layer 0.
+    pub layer0_forward_out_elems: u64,
+    /// Output elements over all forward-phase nodes.
+    pub forward_out_elems: u64,
+    /// Forward output elements excluding attention-internal tensors
+    /// (scores and softmax probabilities) — what a fused executor keeps.
+    pub forward_out_elems_no_attn_internal: u64,
+}
+
+/// Immutable structure shared by every re-costing of one graph shape.
+#[derive(Debug)]
+struct Topology {
+    interner: Interner,
+    names: Vec<Symbol>,
+    classes: Vec<OpClass>,
+    phases: Vec<Phase>,
+    layers: Vec<Option<u64>>,
+    index: HashMap<Symbol, usize>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<NodeId>,
+    succ_off: Vec<u32>,
+    succ_adj: Vec<NodeId>,
+    /// For each backward node, the id of its forward twin (same operator,
+    /// `.fwd` suffix); `None` for forward/update nodes.
+    fwd_twin: Vec<Option<NodeId>>,
+}
+
+/// Borrowed view of one node: identity plus cost, resolved on demand.
+///
+/// `Copy` and two words wide — pass it by value. Obtained from
+/// [`DataflowGraph::op`] or [`DataflowGraph::iter`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRef<'g> {
+    g: &'g DataflowGraph,
+    i: usize,
+}
+
+impl<'g> NodeRef<'g> {
+    /// This node's id.
+    #[must_use]
+    pub fn id(self) -> NodeId {
+        NodeId(self.i)
+    }
+
+    /// The operator name, resolved through the graph's interner.
+    #[must_use]
+    pub fn name(self) -> &'g str {
+        self.g.topo.interner.resolve(self.g.topo.names[self.i])
+    }
+
+    /// The interned name symbol.
+    #[must_use]
+    pub fn symbol(self) -> Symbol {
+        self.g.topo.names[self.i]
+    }
+
+    /// Operator class.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        self.g.topo.classes[self.i]
+    }
+
+    /// Training phase.
+    #[must_use]
+    pub fn phase(self) -> Phase {
+        self.g.topo.phases[self.i]
+    }
+
+    /// Decoder layer, if attributed to one.
+    #[must_use]
+    pub fn layer(self) -> Option<u64> {
+        self.g.topo.layers[self.i]
+    }
+
+    /// The full cost record.
+    #[must_use]
+    pub fn cost(self) -> OpCost {
+        self.g.costs[self.i]
+    }
+
+    /// FLOPs of this operator.
+    #[must_use]
+    pub fn flops(self) -> f64 {
+        self.g.costs[self.i].flops
+    }
+
+    /// Parameter count.
+    #[must_use]
+    pub fn params(self) -> u64 {
+        self.g.costs[self.i].params
+    }
+
+    /// Input tensor elements.
+    #[must_use]
+    pub fn in_elems(self) -> u64 {
+        self.g.costs[self.i].in_elems
+    }
+
+    /// Output tensor elements.
+    #[must_use]
+    pub fn out_elems(self) -> u64 {
+        self.g.costs[self.i].out_elems
+    }
+
+    /// Materialize an owned legacy [`Op`] (allocates the name).
+    #[must_use]
+    pub fn to_op(self) -> Op {
+        let c = self.cost();
+        Op {
+            name: self.name().to_owned(),
+            class: self.class(),
+            phase: self.phase(),
+            layer: self.layer(),
+            flops: c.flops,
+            params: c.params,
+            in_elems: c.in_elems,
+            out_elems: c.out_elems,
+        }
+    }
+}
+
 /// An immutable dataflow DAG whose nodes are LLM training operators.
 ///
 /// Construct with [`DataflowGraph::from_parts`] or, for full training steps,
-/// [`crate::GraphBuilder`]. Node payloads are [`Op`] values from
-/// `dabench-model`; edges point from producer to consumer.
+/// [`crate::GraphBuilder`]. Node attributes are stored in contiguous arenas
+/// and names are interned ([`Symbol`]); edges point from producer to
+/// consumer. Access a node through the [`NodeRef`] view.
 ///
 /// # Example
 ///
@@ -59,11 +205,45 @@ impl Error for GraphError {}
 /// g.validate().unwrap();
 /// assert!(g.total_flops() > 0.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DataflowGraph {
-    nodes: Vec<Op>,
-    preds: Vec<Vec<NodeId>>,
-    succs: Vec<Vec<NodeId>>,
+    topo: Arc<Topology>,
+    costs: Vec<OpCost>,
+    summary: StepSummary,
+}
+
+fn summarize(
+    classes: &[OpClass],
+    phases: &[Phase],
+    layers: &[Option<u64>],
+    costs: &[OpCost],
+) -> StepSummary {
+    let mut s = StepSummary {
+        total_flops: 0.0,
+        layer_flops: 0.0,
+        layer0_forward_flops: 0.0,
+        layer0_forward_out_elems: 0,
+        forward_out_elems: 0,
+        forward_out_elems_no_attn_internal: 0,
+    };
+    for i in 0..costs.len() {
+        let c = costs[i];
+        s.total_flops += c.flops;
+        if layers[i].is_some() {
+            s.layer_flops += c.flops;
+        }
+        if phases[i] == Phase::Forward {
+            s.forward_out_elems += c.out_elems;
+            if !matches!(classes[i], OpClass::AttnScores | OpClass::Softmax) {
+                s.forward_out_elems_no_attn_internal += c.out_elems;
+            }
+            if layers[i] == Some(0) {
+                s.layer0_forward_flops += c.flops;
+                s.layer0_forward_out_elems += c.out_elems;
+            }
+        }
+    }
+    s
 }
 
 impl DataflowGraph {
@@ -75,14 +255,49 @@ impl DataflowGraph {
     /// range and [`GraphError::DuplicateName`] if node names collide.
     pub fn from_parts(nodes: Vec<Op>, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
         let n = nodes.len();
-        let mut seen = HashMap::with_capacity(n);
+        let mut interner = Interner::with_capacity(n, 16);
+        let mut names = Vec::with_capacity(n);
+        let mut classes = Vec::with_capacity(n);
+        let mut phases = Vec::with_capacity(n);
+        let mut layers = Vec::with_capacity(n);
+        let mut costs = Vec::with_capacity(n);
         for op in &nodes {
-            if seen.insert(op.name.clone(), ()).is_some() {
-                return Err(GraphError::DuplicateName(op.name.clone()));
+            names.push(interner.intern(&op.name));
+            classes.push(op.class);
+            phases.push(op.phase);
+            layers.push(op.layer);
+            costs.push(OpCost {
+                flops: op.flops,
+                params: op.params,
+                in_elems: op.in_elems,
+                out_elems: op.out_elems,
+            });
+        }
+        Self::from_interned(interner, names, classes, phases, layers, costs, edges)
+    }
+
+    /// Build a graph directly from interned arenas (the builder fast path:
+    /// no per-node `String` ever exists).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DataflowGraph::from_parts`].
+    pub(crate) fn from_interned(
+        interner: Interner,
+        names: Vec<Symbol>,
+        classes: Vec<OpClass>,
+        phases: Vec<Phase>,
+        layers: Vec<Option<u64>>,
+        costs: Vec<OpCost>,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let n = names.len();
+        let mut index = HashMap::with_capacity(n);
+        for (i, &sym) in names.iter().enumerate() {
+            if index.insert(sym, i).is_some() {
+                return Err(GraphError::DuplicateName(interner.resolve(sym).to_owned()));
             }
         }
-        let mut preds = vec![Vec::new(); n];
-        let mut succs = vec![Vec::new(); n];
         for &(a, b) in edges {
             if a >= n {
                 return Err(GraphError::InvalidNode(a));
@@ -90,70 +305,186 @@ impl DataflowGraph {
             if b >= n {
                 return Err(GraphError::InvalidNode(b));
             }
-            succs[a].push(NodeId(b));
-            preds[b].push(NodeId(a));
         }
+        // CSR adjacency, filled in edge input order so per-node neighbour
+        // order matches the legacy Vec-of-Vecs push order exactly.
+        let mut pred_deg = vec![0u32; n];
+        let mut succ_deg = vec![0u32; n];
+        for &(a, b) in edges {
+            succ_deg[a] += 1;
+            pred_deg[b] += 1;
+        }
+        let prefix = |deg: &[u32]| {
+            let mut off = Vec::with_capacity(n + 1);
+            let mut acc = 0u32;
+            off.push(0);
+            for &d in deg {
+                acc += d;
+                off.push(acc);
+            }
+            off
+        };
+        let pred_off = prefix(&pred_deg);
+        let succ_off = prefix(&succ_deg);
+        let mut pred_cur: Vec<u32> = pred_off[..n].to_vec();
+        let mut succ_cur: Vec<u32> = succ_off[..n].to_vec();
+        let mut pred_adj = vec![NodeId(0); edges.len()];
+        let mut succ_adj = vec![NodeId(0); edges.len()];
+        for &(a, b) in edges {
+            succ_adj[succ_cur[a] as usize] = NodeId(b);
+            succ_cur[a] += 1;
+            pred_adj[pred_cur[b] as usize] = NodeId(a);
+            pred_cur[b] += 1;
+        }
+        // Backward → forward twin links (`l0.qkv_proj.bwd` → `…fwd`).
+        let mut buf = String::new();
+        let fwd_twin: Vec<Option<NodeId>> = (0..n)
+            .map(|i| {
+                if phases[i] != Phase::Backward {
+                    return None;
+                }
+                let stem = interner.resolve(names[i]).strip_suffix(".bwd")?;
+                buf.clear();
+                buf.push_str(stem);
+                buf.push_str(".fwd");
+                interner
+                    .get(&buf)
+                    .and_then(|s| index.get(&s).copied().map(NodeId))
+            })
+            .collect();
+        let summary = summarize(&classes, &phases, &layers, &costs);
         Ok(Self {
-            nodes,
-            preds,
-            succs,
+            topo: Arc::new(Topology {
+                interner,
+                names,
+                classes,
+                phases,
+                layers,
+                index,
+                pred_off,
+                pred_adj,
+                succ_off,
+                succ_adj,
+                fwd_twin,
+            }),
+            costs,
+            summary,
         })
+    }
+
+    /// Re-cost this graph: identical topology (shared, not copied), new
+    /// per-node costs. This is the incremental-recompilation patch path —
+    /// adjacent sweep points share a graph shape and differ only in costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` does not have exactly one entry per node.
+    #[must_use]
+    pub fn with_costs(&self, costs: Vec<OpCost>) -> Self {
+        assert_eq!(
+            costs.len(),
+            self.node_count(),
+            "cost vector must match node count"
+        );
+        let summary = summarize(
+            &self.topo.classes,
+            &self.topo.phases,
+            &self.topo.layers,
+            &costs,
+        );
+        Self {
+            topo: Arc::clone(&self.topo),
+            costs,
+            summary,
+        }
+    }
+
+    /// Whether `other` shares this graph's topology allocation (same
+    /// `Arc`), i.e. was produced by [`DataflowGraph::with_costs`] or a
+    /// clone. Used by tests and the compile cache's hit accounting.
+    #[must_use]
+    pub fn shares_topology(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.topo, &other.topo)
+    }
+
+    /// Aggregate step costs, accumulated once at construction.
+    #[must_use]
+    pub fn summary(&self) -> &StepSummary {
+        &self.summary
+    }
+
+    /// Number of distinct interned names backing this graph.
+    #[must_use]
+    pub fn interned_symbol_count(&self) -> usize {
+        self.topo.interner.len()
+    }
+
+    /// The forward twin of a backward node (`l0.qkv_proj.bwd` →
+    /// `l0.qkv_proj.fwd`); `None` for forward/update nodes.
+    #[must_use]
+    pub fn forward_twin(&self, id: NodeId) -> Option<NodeId> {
+        self.topo.fwd_twin[id.0]
     }
 
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.topo.names.len()
     }
 
     /// Number of edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.topo.succ_adj.len()
     }
 
-    /// The operator payload of `id`.
+    /// The operator at `id`.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     #[must_use]
-    pub fn op(&self, id: NodeId) -> &Op {
-        &self.nodes[id.0]
+    pub fn op(&self, id: NodeId) -> NodeRef<'_> {
+        assert!(id.0 < self.node_count(), "node id out of range");
+        NodeRef { g: self, i: id.0 }
     }
 
     /// All node ids in insertion order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(NodeId)
+        (0..self.node_count()).map(NodeId)
     }
 
-    /// Iterate over `(id, op)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Op)> {
-        self.nodes.iter().enumerate().map(|(i, op)| (NodeId(i), op))
+    /// Iterate over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeRef<'_>)> {
+        (0..self.node_count()).map(|i| (NodeId(i), NodeRef { g: self, i }))
     }
 
     /// Predecessors (producers) of `id`.
     #[must_use]
     pub fn preds(&self, id: NodeId) -> &[NodeId] {
-        &self.preds[id.0]
+        let t = &self.topo;
+        &t.pred_adj[t.pred_off[id.0] as usize..t.pred_off[id.0 + 1] as usize]
     }
 
     /// Successors (consumers) of `id`.
     #[must_use]
     pub fn succs(&self, id: NodeId) -> &[NodeId] {
-        &self.succs[id.0]
+        let t = &self.topo;
+        &t.succ_adj[t.succ_off[id.0] as usize..t.succ_off[id.0 + 1] as usize]
     }
 
-    /// Find a node by exact operator name.
+    /// Find a node by exact operator name (constant-time: interner lookup
+    /// plus one hash probe, no string scan over the node list).
     #[must_use]
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes.iter().position(|op| op.name == name).map(NodeId)
+        let sym = self.topo.interner.get(name)?;
+        self.topo.index.get(&sym).copied().map(NodeId)
     }
 
     /// Total FLOPs over all nodes.
     #[must_use]
     pub fn total_flops(&self) -> f64 {
-        self.nodes.iter().map(|op| op.flops).sum()
+        self.costs.iter().map(|c| c.flops).sum()
     }
 
     /// A topological order of all nodes (Kahn's algorithm). Ties are broken
@@ -170,8 +501,8 @@ impl DataflowGraph {
     }
 
     fn try_topological_order(&self) -> Result<Vec<NodeId>, GraphError> {
-        let n = self.nodes.len();
-        let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let n = self.node_count();
+        let mut indegree: Vec<usize> = (0..n).map(|i| self.preds(NodeId(i)).len()).collect();
         // A simple FIFO over a sorted frontier keeps the order stable.
         let mut frontier: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
@@ -180,7 +511,7 @@ impl DataflowGraph {
             let u = frontier[head];
             head += 1;
             order.push(NodeId(u));
-            for &NodeId(v) in &self.succs[u] {
+            for &NodeId(v) in self.succs(NodeId(u)) {
                 indegree[v] -= 1;
                 if indegree[v] == 0 {
                     frontier.push(v);
@@ -190,7 +521,7 @@ impl DataflowGraph {
         if order.len() != n {
             let stuck = (0..n)
                 .find(|&i| indegree[i] > 0)
-                .map(|i| self.nodes[i].name.clone())
+                .map(|i| self.topo.interner.resolve(self.topo.names[i]).to_owned())
                 .unwrap_or_default();
             return Err(GraphError::Cycle(stuck));
         }
@@ -203,9 +534,9 @@ impl DataflowGraph {
     #[must_use]
     pub fn levels(&self) -> Vec<usize> {
         let order = self.topological_order();
-        let mut level = vec![0usize; self.nodes.len()];
+        let mut level = vec![0usize; self.node_count()];
         for &NodeId(u) in &order {
-            for &NodeId(p) in &self.preds[u] {
+            for &NodeId(p) in self.preds(NodeId(u)) {
                 level[u] = level[u].max(level[p] + 1);
             }
         }
@@ -216,14 +547,15 @@ impl DataflowGraph {
     #[must_use]
     pub fn critical_path_flops(&self) -> f64 {
         let order = self.topological_order();
-        let mut best = vec![0f64; self.nodes.len()];
+        let mut best = vec![0f64; self.node_count()];
         let mut max = 0.0f64;
         for &NodeId(u) in &order {
-            let from_preds = self.preds[u]
+            let from_preds = self
+                .preds(NodeId(u))
                 .iter()
                 .map(|&NodeId(p)| best[p])
                 .fold(0.0, f64::max);
-            best[u] = from_preds + self.nodes[u].flops;
+            best[u] = from_preds + self.costs[u].flops;
             max = max.max(best[u]);
         }
         max
@@ -243,7 +575,7 @@ impl DataflowGraph {
     /// Sum of FLOPs restricted to a node set.
     #[must_use]
     pub fn subset_flops(&self, ids: &[NodeId]) -> f64 {
-        ids.iter().map(|&id| self.op(id).flops).sum()
+        ids.iter().map(|&id| self.costs[id.0].flops).sum()
     }
 
     /// Number of edges crossing from `from` into `to` (data transferred
@@ -254,7 +586,7 @@ impl DataflowGraph {
         let mut elems = 0;
         for &id in from {
             if self.succs(id).iter().any(|s| to_set.contains(s)) {
-                elems += self.op(id).out_elems;
+                elems += self.costs[id.0].out_elems;
             }
         }
         elems
@@ -356,5 +688,88 @@ mod tests {
         let g = diamond();
         assert_eq!(g.find("c"), Some(NodeId(2)));
         assert_eq!(g.find("zzz"), None);
+    }
+
+    #[test]
+    fn error_messages_render_resolved_names() {
+        // Every variant prints the operator's text name, never a symbol id.
+        let cycle =
+            DataflowGraph::from_parts(vec![mk_op("a", 1.0), mk_op("b", 1.0)], &[(0, 1), (1, 0)])
+                .unwrap()
+                .validate()
+                .unwrap_err();
+        assert_eq!(cycle.to_string(), "dependency cycle through node `a`");
+        let dup =
+            DataflowGraph::from_parts(vec![mk_op("x", 1.0), mk_op("x", 1.0)], &[]).unwrap_err();
+        assert_eq!(dup.to_string(), "duplicate node name `x`");
+        let invalid = DataflowGraph::from_parts(vec![mk_op("a", 1.0)], &[(0, 7)]).unwrap_err();
+        assert_eq!(invalid.to_string(), "edge references missing node index 7");
+        let orphan = GraphError::Orphan("l3.rope.fwd".to_owned());
+        assert_eq!(
+            orphan.to_string(),
+            "non-source node `l3.rope.fwd` has no predecessors"
+        );
+    }
+
+    #[test]
+    fn node_ref_resolves_attributes() {
+        let g = diamond();
+        let c = g.op(NodeId(2));
+        assert_eq!(c.name(), "c");
+        assert_eq!(c.class(), OpClass::Norm);
+        assert_eq!(c.phase(), Phase::Forward);
+        assert_eq!(c.layer(), None);
+        assert!((c.flops() - 10.0).abs() < 1e-12);
+        assert_eq!(c.out_elems(), 8);
+        let op = c.to_op();
+        assert_eq!(op.name, "c");
+    }
+
+    #[test]
+    fn with_costs_shares_topology_and_recosts() {
+        let g = diamond();
+        let costs: Vec<OpCost> = g
+            .iter()
+            .map(|(_, n)| OpCost {
+                flops: n.flops() * 3.0,
+                ..n.cost()
+            })
+            .collect();
+        let h = g.with_costs(costs);
+        assert!(g.shares_topology(&h));
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert!((h.total_flops() - 3.0 * g.total_flops()).abs() < 1e-9);
+        assert!((h.summary().total_flops - h.total_flops()).abs() < 1e-9);
+        // Topology queries are unchanged.
+        assert_eq!(h.find("c"), Some(NodeId(2)));
+        assert_eq!(h.succs(NodeId(0)), g.succs(NodeId(0)));
+    }
+
+    #[test]
+    fn summary_matches_direct_sums() {
+        let g = diamond();
+        let s = g.summary();
+        assert!((s.total_flops - g.total_flops()).abs() < 1e-12);
+        assert_eq!(s.forward_out_elems, 32); // four forward nodes × 8
+        assert_eq!(s.forward_out_elems_no_attn_internal, 32);
+        assert_eq!(s.layer0_forward_out_elems, 0); // no layered nodes
+    }
+
+    #[test]
+    fn forward_twin_links_backward_nodes() {
+        let mut a = mk_op("l0.qkv_proj.fwd", 1.0);
+        a.phase = Phase::Forward;
+        let mut b = mk_op("l0.qkv_proj.bwd", 2.0);
+        b.phase = Phase::Backward;
+        let g = DataflowGraph::from_parts(vec![a, b], &[(0, 1)]).unwrap();
+        assert_eq!(g.forward_twin(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(g.forward_twin(NodeId(0)), None);
+    }
+
+    #[test]
+    fn interned_symbol_count_tracks_names() {
+        let g = diamond();
+        assert_eq!(g.interned_symbol_count(), 4);
     }
 }

@@ -1,0 +1,173 @@
+//! String interning for operator names.
+//!
+//! Every node name in a [`crate::DataflowGraph`] is stored once, in a
+//! single contiguous buffer, and referred to by a dense [`Symbol`] id.
+//! Interning removes the per-op `String` allocations of the legacy graph
+//! representation and turns name lookups into integer comparisons: two
+//! symbols are equal iff their strings are equal.
+
+use std::collections::HashMap;
+
+/// Interned handle to an operator name.
+///
+/// Symbols are dense (`0..interner.len()`), `Copy`, and cheap to hash;
+/// they are only meaningful relative to the [`Interner`] that produced
+/// them. Resolve back to text with [`Interner::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// A symbol table: strings in, dense [`Symbol`] ids out.
+///
+/// All interned text lives in one shared `String` buffer; per-symbol
+/// storage is a `(offset, len)` span. Lookup is a 64-bit FNV-1a hash into
+/// open buckets with a full string compare on candidates, so distinct
+/// strings can never collapse onto one symbol.
+///
+/// # Example
+///
+/// ```
+/// use dabench_graph::intern::Interner;
+///
+/// let mut t = Interner::new();
+/// let a = t.intern("l0.qkv_proj.fwd");
+/// let b = t.intern("l0.qkv_proj.fwd");
+/// assert_eq!(a, b); // dedup: same text, same symbol
+/// assert_eq!(t.resolve(a), "l0.qkv_proj.fwd");
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    buf: String,
+    spans: Vec<(u32, u32)>,
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+/// 64-bit FNV-1a over the bytes of `s`.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Interner {
+    /// An empty symbol table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty table pre-sized for roughly `names` symbols of average
+    /// length `avg_len` bytes.
+    #[must_use]
+    pub fn with_capacity(names: usize, avg_len: usize) -> Self {
+        Self {
+            buf: String::with_capacity(names * avg_len),
+            spans: Vec::with_capacity(names),
+            buckets: HashMap::with_capacity(names),
+        }
+    }
+
+    /// Intern `s`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        let h = fnv1a(s);
+        if let Some(ids) = self.buckets.get(&h) {
+            for &id in ids {
+                if self.span_str(id) == s {
+                    return Symbol(id);
+                }
+            }
+        }
+        let id = u32::try_from(self.spans.len()).expect("interner overflow");
+        let start = u32::try_from(self.buf.len()).expect("interner buffer overflow");
+        self.buf.push_str(s);
+        let len = u32::try_from(s.len()).expect("name too long");
+        self.spans.push((start, len));
+        self.buckets.entry(h).or_default().push(id);
+        Symbol(id)
+    }
+
+    /// Look up `s` without inserting it.
+    #[must_use]
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        let ids = self.buckets.get(&fnv1a(s))?;
+        ids.iter()
+            .copied()
+            .find(|&id| self.span_str(id) == s)
+            .map(Symbol)
+    }
+
+    /// The text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.span_str(sym.0)
+    }
+
+    /// Number of distinct interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn span_str(&self, id: u32) -> &str {
+        let (start, len) = self.spans[id as usize];
+        &self.buf[start as usize..(start + len) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_dedup() {
+        let mut t = Interner::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        let a2 = t.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "alpha");
+        assert_eq!(t.resolve(b), "beta");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut t = Interner::new();
+        assert_eq!(t.get("x"), None);
+        let x = t.intern("x");
+        assert_eq!(t.get("x"), Some(x));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered() {
+        let mut t = Interner::new();
+        for i in 0..100 {
+            let sym = t.intern(&format!("name{i}"));
+            assert_eq!(sym, Symbol(i));
+        }
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut t = Interner::new();
+        let e = t.intern("");
+        assert_eq!(t.resolve(e), "");
+        assert_eq!(t.intern(""), e);
+    }
+}

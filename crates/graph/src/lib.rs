@@ -8,10 +8,16 @@
 //! section-by-section on the SambaNova RDU, layer-pipelined on the Graphcore
 //! IPU). This crate provides the graph those mappers consume:
 //!
-//! - [`DataflowGraph`]: an immutable DAG over [`dabench_model::ops::Op`]
-//!   nodes with exact dependency edges (sequential chains, residual skips,
-//!   backward mirrors, gradient→optimizer edges).
-//! - [`GraphBuilder`]: constructs the training-step graph of a model.
+//! - [`DataflowGraph`]: an immutable DAG with exact dependency edges
+//!   (sequential chains, residual skips, backward mirrors,
+//!   gradient→optimizer edges). Node attributes live in contiguous arenas
+//!   and names are interned ([`intern::Symbol`]); nodes are accessed
+//!   through the [`NodeRef`] view. The shared topology can be re-costed
+//!   cheaply ([`DataflowGraph::with_costs`]) for incremental
+//!   recompilation across sweep points.
+//! - [`GraphBuilder`]: constructs the training-step graph of a model from
+//!   allocation-free operator records.
+//! - [`intern`]: the symbol table behind every node name.
 //! - [`partition`]: reusable contiguous/weighted partitioning utilities used
 //!   by the platform compilers.
 //! - [`analysis`]: graph statistics (depth, width, per-phase FLOPs).
@@ -38,7 +44,9 @@ mod builder;
 pub mod dot;
 pub mod fuse;
 mod graph;
+pub mod intern;
 pub mod partition;
 
 pub use builder::{class_nodes, layer_nodes, GraphBuilder};
-pub use graph::{DataflowGraph, GraphError, NodeId};
+pub use graph::{DataflowGraph, GraphError, NodeId, NodeRef, StepSummary};
+pub use intern::{Interner, Symbol};

@@ -1,0 +1,235 @@
+//! Seeded property tests for the interned-symbol table and the arena
+//! graph: round-trips, dedup, no collisions, builder-vs-catalogue
+//! equivalence, and the cost-patch primitive that backs incremental sweep
+//! recompilation.
+//!
+//! Generators are hand-rolled (SplitMix64), matching the house style of
+//! the supervisor and sharding tests: no `proptest` runtime in the loop,
+//! every case reproducible from the printed seed.
+
+use dabench_graph::{DataflowGraph, GraphBuilder, Interner};
+use dabench_model::ops::{self, Phase};
+use dabench_model::{ModelConfig, Precision, TrainingWorkload};
+
+/// Hand-rolled SplitMix64 — deterministic, seedable, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+/// A random op-shaped name: dotted segments over a small alphabet, so the
+/// population contains near-misses (shared prefixes/suffixes) that would
+/// expose a sloppy hash or a bucket-compare bug.
+fn random_name(rng: &mut Rng) -> String {
+    const SEGMENTS: [&str; 12] = [
+        "qkv_proj", "rope", "softmax", "mlp_up", "mlp_down", "norm1", "norm2", "fwd", "bwd", "upd",
+        "attn", "loss",
+    ];
+    let mut s = String::new();
+    if rng.below(2) == 0 {
+        s.push('l');
+        s.push_str(&rng.below(100).to_string());
+        s.push('.');
+    }
+    let parts = 1 + rng.below(3);
+    for i in 0..parts {
+        if i > 0 {
+            s.push('.');
+        }
+        s.push_str(rng.pick::<&str>(&SEGMENTS[..]));
+    }
+    if rng.below(3) == 0 {
+        s.push_str(&rng.below(10_000).to_string());
+    }
+    s
+}
+
+#[test]
+fn intern_resolve_round_trips_and_dedups_10k_seeded_names() {
+    let mut rng = Rng(0xDAB3_2024);
+    let mut interner = Interner::new();
+    let mut by_name: std::collections::HashMap<String, dabench_graph::Symbol> =
+        std::collections::HashMap::new();
+
+    for _ in 0..10_000 {
+        let name = random_name(&mut rng);
+        let sym = interner.intern(&name);
+        // Round trip: the symbol resolves to exactly the interned string.
+        assert_eq!(interner.resolve(sym), name, "round trip failed");
+        match by_name.get(&name) {
+            // Dedup: re-interning an existing name returns the same symbol.
+            Some(&prev) => assert_eq!(prev, sym, "dedup failed for {name:?}"),
+            None => {
+                by_name.insert(name, sym);
+            }
+        }
+    }
+
+    // No collisions: distinct names got distinct symbols, and the table
+    // size equals the number of unique names seen.
+    assert_eq!(interner.len(), by_name.len());
+    let mut symbols: Vec<u32> = by_name.values().map(|s| s.0).collect();
+    symbols.sort_unstable();
+    symbols.dedup();
+    assert_eq!(symbols.len(), by_name.len(), "symbol collision");
+
+    // Non-inserting lookup agrees with the insert path.
+    for (name, &sym) in &by_name {
+        assert_eq!(interner.get(name), Some(sym));
+    }
+    assert_eq!(interner.get("never-interned-name"), None);
+}
+
+/// Random topology-preserving workload menu: the step-graph shape depends
+/// only on (family, num_layers), so points sharing those differ in costs
+/// alone.
+fn random_workload(rng: &mut Rng) -> TrainingWorkload {
+    let layers = 1 + rng.below(6);
+    let hidden = *rng.pick(&[256u64, 512, 768]);
+    let model = if rng.below(2) == 0 {
+        ModelConfig::gpt2_probe(hidden, layers)
+    } else {
+        ModelConfig::llama2_probe(hidden, layers)
+    };
+    let batch = 1 + rng.below(32);
+    let seq = *rng.pick(&[128u64, 256, 512]);
+    TrainingWorkload::new(model, batch, seq, Precision::Fp16)
+}
+
+#[test]
+fn arena_graph_matches_op_catalogue_for_random_workloads() {
+    let mut rng = Rng(0x5EED_0001);
+    for trial in 0..40 {
+        let w = random_workload(&mut rng);
+        let graph = GraphBuilder::for_workload(&w);
+        let catalogue = ops::training_step_ops(w.model(), w.batch_size(), w.seq_len());
+
+        // Node-for-node equality with the legacy string-named catalogue,
+        // in catalogue order.
+        assert_eq!(graph.node_count(), catalogue.len(), "trial {trial}");
+        for (i, legacy) in catalogue.iter().enumerate() {
+            let node = graph.op(dabench_graph::NodeId(i));
+            assert_eq!(node.name(), legacy.name, "trial {trial} node {i}");
+            assert_eq!(node.class(), legacy.class, "trial {trial} node {i}");
+            assert_eq!(node.phase(), legacy.phase, "trial {trial} node {i}");
+            assert_eq!(node.layer(), legacy.layer, "trial {trial} node {i}");
+            assert!(
+                node.flops() == legacy.flops
+                    && node.params() == legacy.params
+                    && node.in_elems() == legacy.in_elems
+                    && node.out_elems() == legacy.out_elems,
+                "trial {trial} node {i}: cost drift"
+            );
+            // The interner finds every node by its rendered name.
+            assert_eq!(graph.find(&legacy.name), Some(dabench_graph::NodeId(i)));
+        }
+
+        // Structural invariants: valid DAG, every backward node twins a
+        // forward node carrying the swapped suffix.
+        graph.validate().expect("generated graph validates");
+        assert_eq!(graph.topological_order().len(), graph.node_count());
+        for (id, node) in graph.iter() {
+            if node.phase() == Phase::Backward {
+                let twin = graph.forward_twin(id).expect("backward node has twin");
+                assert_eq!(
+                    graph.op(twin).name(),
+                    node.name().replace(".bwd", ".fwd"),
+                    "trial {trial}"
+                );
+            }
+        }
+
+        // The memoized summary equals direct in-order sums.
+        let s = graph.summary();
+        let direct_total: f64 = catalogue.iter().map(|o| o.flops).sum();
+        assert!(
+            s.total_flops == direct_total,
+            "trial {trial}: summary drift"
+        );
+        let direct_fwd_elems: u64 = catalogue
+            .iter()
+            .filter(|o| o.phase == Phase::Forward)
+            .map(|o| o.out_elems)
+            .sum();
+        assert_eq!(s.forward_out_elems, direct_fwd_elems, "trial {trial}");
+    }
+}
+
+/// Bitwise graph equality: same topology object semantics are not required
+/// (a fresh build owns a fresh interner), but every observable — names,
+/// costs, edges, summary — must match exactly.
+fn assert_graphs_identical(a: &DataflowGraph, b: &DataflowGraph, ctx: &str) {
+    assert_eq!(a.node_count(), b.node_count(), "{ctx}: node count");
+    assert_eq!(a.edge_count(), b.edge_count(), "{ctx}: edge count");
+    for (id, na) in a.iter() {
+        let nb = b.op(id);
+        assert_eq!(na.name(), nb.name(), "{ctx}: {id}");
+        assert!(
+            na.flops() == nb.flops()
+                && na.params() == nb.params()
+                && na.in_elems() == nb.in_elems()
+                && na.out_elems() == nb.out_elems(),
+            "{ctx}: cost mismatch at {id}"
+        );
+        assert_eq!(a.preds(id), b.preds(id), "{ctx}: preds of {id}");
+        assert_eq!(a.succs(id), b.succs(id), "{ctx}: succs of {id}");
+    }
+    let (sa, sb) = (a.summary(), b.summary());
+    assert!(
+        sa.total_flops == sb.total_flops
+            && sa.layer_flops == sb.layer_flops
+            && sa.layer0_forward_flops == sb.layer0_forward_flops,
+        "{ctx}: summary mismatch"
+    );
+    assert_eq!(sa.forward_out_elems, sb.forward_out_elems, "{ctx}");
+    assert_eq!(
+        sa.forward_out_elems_no_attn_internal, sb.forward_out_elems_no_attn_internal,
+        "{ctx}"
+    );
+    assert_eq!(
+        sa.layer0_forward_out_elems, sb.layer0_forward_out_elems,
+        "{ctx}"
+    );
+}
+
+#[test]
+fn cost_patch_equals_rebuild_from_scratch_on_random_deltas() {
+    let mut rng = Rng(0x5EED_0002);
+    for trial in 0..40 {
+        let base = random_workload(&mut rng);
+        // A topology-preserving delta: batch and/or sequence change, the
+        // (family, layers) shape stays — exactly the adjacent-sweep-point
+        // case the incremental compile cache patches.
+        let batch = 1 + rng.below(32);
+        let seq = *rng.pick(&[128u64, 256, 512]);
+        let next = TrainingWorkload::new(base.model().clone(), batch, seq, base.precision());
+
+        let base_graph = GraphBuilder::for_workload(&base);
+        let fresh = GraphBuilder::for_workload(&next);
+        let costs = ops::step_costs(next.model(), next.batch_size(), next.seq_len());
+        let patched = base_graph.with_costs(costs);
+
+        // The patch shares the base topology (no re-interning) yet is
+        // observably identical to a from-scratch rebuild.
+        assert!(
+            patched.shares_topology(&base_graph),
+            "trial {trial}: patch re-allocated topology"
+        );
+        assert_graphs_identical(&patched, &fresh, &format!("trial {trial}"));
+    }
+}

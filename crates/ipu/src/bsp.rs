@@ -44,12 +44,9 @@ pub fn tiles_for_layer(
     let model = workload.model();
     // Per-token training FLOPs of one layer (fwd + bwd ≈ 3 × fwd).
     let layer_flops_per_token = 3.0
-        * workload
-            .step_ops()
-            .iter()
-            .filter(|o| o.layer == Some(0) && o.phase == dabench_model::ops::Phase::Forward)
-            .map(|o| o.flops)
-            .sum::<f64>()
+        * dabench_core::compile::training_graph(workload)
+            .summary()
+            .layer0_forward_flops
         / workload.tokens_per_step() as f64;
     let demand = (layer_flops_per_token / params.flops_per_token_per_tile).ceil() as u64;
     // The chip-share clamp caps elastic demand; the minimum wins last so a
@@ -70,12 +67,9 @@ pub fn layer_compute_time(
     let rate = precision_rate_factor(workload.precision(), params);
     let tokens = workload.tokens_per_step() as f64;
     let layer_flops_per_seq = 3.0
-        * workload
-            .step_ops()
-            .iter()
-            .filter(|o| o.layer == Some(0) && o.phase == dabench_model::ops::Phase::Forward)
-            .map(|o| o.flops)
-            .sum::<f64>()
+        * dabench_core::compile::training_graph(workload)
+            .summary()
+            .layer0_forward_flops
         / tokens
         * workload.seq_len() as f64;
     let compute = layer_flops_per_seq
@@ -93,12 +87,9 @@ pub fn layer_compute_time(
 /// Total FLOPs per step attributable to decoder layers (all phases).
 #[must_use]
 pub fn layer_flops_per_step(workload: &TrainingWorkload) -> f64 {
-    workload
-        .step_ops()
-        .iter()
-        .filter(|o| o.layer.is_some())
-        .map(|o| o.flops)
-        .sum()
+    dabench_core::compile::training_graph(workload)
+        .summary()
+        .layer_flops
 }
 
 /// Stage time of the embedding/head IPU processing one sequence: all

@@ -1,7 +1,6 @@
 //! Per-IPU memory accounting (the Fig. 9(d) OOM mechanism).
 
 use crate::chip::{IpuCompilerParams, IpuSpec};
-use dabench_model::ops::Phase;
 use dabench_model::TrainingWorkload;
 use serde::{Deserialize, Serialize};
 
@@ -56,12 +55,9 @@ pub fn decoder_ipu_memory(
 
     // Stored activations of one layer for ONE sequence, at the residency
     // factor (Poplar recomputes the rest for backward).
-    let per_layer_act_elems: u64 = workload
-        .step_ops()
-        .iter()
-        .filter(|o| o.layer == Some(0) && o.phase == Phase::Forward)
-        .map(|o| o.out_elems)
-        .sum::<u64>()
+    let per_layer_act_elems: u64 = dabench_core::compile::training_graph(workload)
+        .summary()
+        .layer0_forward_out_elems
         / workload.batch_size();
     let acts = (layers as f64
         * per_layer_act_elems as f64

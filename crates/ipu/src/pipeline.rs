@@ -144,7 +144,9 @@ fn pipeline_with_allocation_inner(
     let report = steady_state_analysis(&pipeline, workload.batch_size());
     let step_time = report.total_time + params.step_fixed_overhead_s;
 
-    let flops = workload.training_flops_per_step();
+    let flops = dabench_core::compile::training_graph(workload)
+        .summary()
+        .total_flops;
     Ok(PipelinePlan {
         bottleneck_stage: report.bottleneck_index,
         step_time_s: step_time,

@@ -36,22 +36,22 @@ impl ActivationMemory {
     /// given batch size, sequence length and element precision.
     #[must_use]
     pub fn for_step(cfg: &ModelConfig, batch: u64, seq: u64, precision: Precision) -> Self {
-        let step = ops::training_step_ops(cfg, batch, seq);
+        let step = ops::step_records(cfg, batch, seq);
         let elem = precision.bytes_per_element();
         let stored: u64 = step
             .iter()
-            .filter(|o| o.phase == Phase::Forward)
-            .map(|o| o.out_elems)
+            .filter(|r| r.phase == Phase::Forward)
+            .map(|r| r.cost.out_elems)
             .sum();
         let peak: u64 = step
             .iter()
-            .map(|o| o.out_elems.max(o.in_elems))
+            .map(|r| r.cost.out_elems.max(r.cost.in_elems))
             .max()
             .unwrap_or(0);
         let layer0: u64 = step
             .iter()
-            .filter(|o| o.phase == Phase::Forward && o.layer == Some(0))
-            .map(|o| o.out_elems)
+            .filter(|r| r.phase == Phase::Forward && r.layer == Some(0))
+            .map(|r| r.cost.out_elems)
             .sum();
         Self {
             stored_bytes: stored * elem,

@@ -161,6 +161,72 @@ impl fmt::Display for Op {
     }
 }
 
+/// Numeric cost fields of one operator — everything about an op except its
+/// identity. Separated from [`Op`] so incremental recompilation can rebuild
+/// the costs of an existing graph topology without re-rendering any names.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Floating-point operations for the whole step (batch included).
+    pub flops: f64,
+    /// Weight parameters owned by this operator.
+    pub params: u64,
+    /// Activation input elements consumed.
+    pub in_elems: u64,
+    /// Activation output elements produced.
+    pub out_elems: u64,
+}
+
+/// One operator of a training step in *record* form: a static label plus
+/// numeric costs, with the display name derivable on demand. This is the
+/// allocation-free twin of [`Op`] — generating a step's records performs no
+/// per-op `String` formatting, which is what makes interned graph
+/// construction and cost-only repatching cheap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpRecord {
+    /// Static label, e.g. `"qkv_proj"` or `"residual1"` (no layer prefix or
+    /// phase suffix).
+    pub label: &'static str,
+    /// Operator class.
+    pub class: OpClass,
+    /// Forward / backward / update phase.
+    pub phase: Phase,
+    /// Decoder layer index, `None` for embedding / head / loss / update.
+    pub layer: Option<u64>,
+    /// Numeric costs.
+    pub cost: OpCost,
+}
+
+impl OpRecord {
+    /// Render the operator's unique step name (`"l3.qkv_proj.fwd"`,
+    /// `"optimizer.upd"`) into `buf`, clearing it first. Byte-identical to
+    /// the names [`training_step_ops`] has always produced.
+    pub fn write_name(&self, buf: &mut String) {
+        use std::fmt::Write;
+        buf.clear();
+        let suffix = match self.phase {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+            Phase::Update => "upd",
+        };
+        match self.layer {
+            Some(l) => {
+                let _ = write!(buf, "l{l}.{}.{suffix}", self.label);
+            }
+            None => {
+                let _ = write!(buf, "{}.{suffix}", self.label);
+            }
+        }
+    }
+
+    /// The operator's unique step name as an owned `String`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        let mut buf = String::new();
+        self.write_name(&mut buf);
+        buf
+    }
+}
+
 /// Dimension bundle threaded through the op builders.
 #[derive(Debug, Clone, Copy)]
 struct Dims {
@@ -174,26 +240,28 @@ struct Dims {
 }
 
 /// Enumerate the forward-pass operators of one decoder layer.
-fn layer_forward_ops(cfg: &ModelConfig, d: Dims, layer: u64) -> Vec<Op> {
+fn layer_forward_records(cfg: &ModelConfig, d: Dims, layer: u64) -> Vec<OpRecord> {
     let mut ops = Vec::new();
     let bs = d.b * d.s;
     let bsh = bs * d.h;
-    let push_named = |ops: &mut Vec<Op>,
-                      label: &str,
+    let push_named = |ops: &mut Vec<OpRecord>,
+                      label: &'static str,
                       class: OpClass,
                       flops: f64,
                       params: u64,
                       in_e: f64,
                       out_e: f64| {
-        ops.push(Op {
-            name: format!("l{layer}.{label}.fwd"),
+        ops.push(OpRecord {
+            label,
             class,
             phase: Phase::Forward,
             layer: Some(layer),
-            flops,
-            params,
-            in_elems: in_e as u64,
-            out_elems: out_e as u64,
+            cost: OpCost {
+                flops,
+                params,
+                in_elems: in_e as u64,
+                out_elems: out_e as u64,
+            },
         });
     };
     macro_rules! push {
@@ -344,18 +412,20 @@ fn layer_forward_ops(cfg: &ModelConfig, d: Dims, layer: u64) -> Vec<Op> {
 /// which yields the paper's overall `6 · P · B · S` training-FLOP estimate.
 const BACKWARD_FLOP_FACTOR: f64 = 2.0;
 
-fn backward_of(op: &Op) -> Op {
-    Op {
-        name: op.name.replace(".fwd", ".bwd"),
-        class: op.class,
+fn backward_of(r: &OpRecord) -> OpRecord {
+    OpRecord {
+        label: r.label,
+        class: r.class,
         phase: Phase::Backward,
-        layer: op.layer,
-        flops: op.flops * BACKWARD_FLOP_FACTOR,
-        params: op.params,
-        // Gradient tensors mirror the forward activations, flowing the
-        // opposite way.
-        in_elems: op.out_elems,
-        out_elems: op.in_elems,
+        layer: r.layer,
+        cost: OpCost {
+            flops: r.cost.flops * BACKWARD_FLOP_FACTOR,
+            params: r.cost.params,
+            // Gradient tensors mirror the forward activations, flowing the
+            // opposite way.
+            in_elems: r.cost.out_elems,
+            out_elems: r.cost.in_elems,
+        },
     }
 }
 
@@ -377,6 +447,28 @@ fn backward_of(op: &Op) -> Op {
 /// ```
 #[must_use]
 pub fn training_step_ops(cfg: &ModelConfig, batch: u64, seq: u64) -> Vec<Op> {
+    step_records(cfg, batch, seq)
+        .iter()
+        .map(|r| Op {
+            name: r.name(),
+            class: r.class,
+            phase: r.phase,
+            layer: r.layer,
+            flops: r.cost.flops,
+            params: r.cost.params,
+            in_elems: r.cost.in_elems,
+            out_elems: r.cost.out_elems,
+        })
+        .collect()
+}
+
+/// Enumerate every operator of one training step in *record* form — the
+/// same operators, order and costs as [`training_step_ops`] but without
+/// rendering any names (no per-op allocations). Graph construction interns
+/// names straight from these records; incremental recompilation re-derives
+/// only the [`OpCost`]s via [`step_costs`].
+#[must_use]
+pub fn step_records(cfg: &ModelConfig, batch: u64, seq: u64) -> Vec<OpRecord> {
     let d = Dims {
         b: batch as f64,
         s: seq as f64,
@@ -398,19 +490,21 @@ pub fn training_step_ops(cfg: &ModelConfig, batch: u64, seq: u64) -> Vec<Op> {
     } else {
         0.0
     };
-    forward.push(Op {
-        name: "embedding.fwd".to_owned(),
+    forward.push(OpRecord {
+        label: "embedding",
         class: OpClass::Embedding,
         phase: Phase::Forward,
         layer: None,
-        flops: pos_flops,
-        params: cfg.embedding_parameter_count(),
-        in_elems: bs as u64,
-        out_elems: bsh as u64,
+        cost: OpCost {
+            flops: pos_flops,
+            params: cfg.embedding_parameter_count(),
+            in_elems: bs as u64,
+            out_elems: bsh as u64,
+        },
     });
 
     for layer in 0..cfg.num_layers {
-        forward.extend(layer_forward_ops(cfg, d, layer));
+        forward.extend(layer_forward_records(cfg, d, layer));
     }
 
     // Final norm.
@@ -418,57 +512,77 @@ pub fn training_step_ops(cfg: &ModelConfig, batch: u64, seq: u64) -> Vec<Op> {
         Normalization::LayerNorm => (8.0 * bsh, 2 * cfg.hidden_size),
         Normalization::RmsNorm => (4.0 * bsh, cfg.hidden_size),
     };
-    forward.push(Op {
-        name: "final_norm.fwd".to_owned(),
+    forward.push(OpRecord {
+        label: "final_norm",
         class: OpClass::Norm,
         phase: Phase::Forward,
         layer: None,
-        flops: fnf,
-        params: fnp,
-        in_elems: bsh as u64,
-        out_elems: bsh as u64,
+        cost: OpCost {
+            flops: fnf,
+            params: fnp,
+            in_elems: bsh as u64,
+            out_elems: bsh as u64,
+        },
     });
 
     // LM head. Tied embeddings share parameters; the GEMM cost is identical.
-    forward.push(Op {
-        name: "lm_head.fwd".to_owned(),
+    forward.push(OpRecord {
+        label: "lm_head",
         class: OpClass::LmHead,
         phase: Phase::Forward,
         layer: None,
-        flops: 2.0 * bs * d.h * d.v,
-        params: cfg.lm_head_parameter_count(),
-        in_elems: bsh as u64,
-        out_elems: (bs * d.v) as u64,
+        cost: OpCost {
+            flops: 2.0 * bs * d.h * d.v,
+            params: cfg.lm_head_parameter_count(),
+            in_elems: bsh as u64,
+            out_elems: (bs * d.v) as u64,
+        },
     });
 
-    forward.push(Op {
-        name: "loss.fwd".to_owned(),
+    forward.push(OpRecord {
+        label: "loss",
         class: OpClass::Loss,
         phase: Phase::Forward,
         layer: None,
-        flops: 5.0 * bs * d.v,
-        params: 0,
-        in_elems: (bs * d.v) as u64,
-        out_elems: bs as u64,
+        cost: OpCost {
+            flops: 5.0 * bs * d.v,
+            params: 0,
+            in_elems: (bs * d.v) as u64,
+            out_elems: bs as u64,
+        },
     });
 
     let mut ops = forward.clone();
     ops.extend(forward.iter().rev().map(backward_of));
 
     let total_params = cfg.parameter_count();
-    ops.push(Op {
-        name: "optimizer.upd".to_owned(),
+    ops.push(OpRecord {
+        label: "optimizer",
         class: OpClass::OptimizerStep,
         phase: Phase::Update,
         layer: None,
-        // Adam: ~10 FLOPs per parameter.
-        flops: 10.0 * total_params as f64,
-        params: 0,
-        in_elems: total_params,
-        out_elems: total_params,
+        cost: OpCost {
+            // Adam: ~10 FLOPs per parameter.
+            flops: 10.0 * total_params as f64,
+            params: 0,
+            in_elems: total_params,
+            out_elems: total_params,
+        },
     });
 
     ops
+}
+
+/// The [`OpCost`]s of one training step, aligned index-for-index with
+/// [`step_records`] and [`training_step_ops`]. This is the cheap pass the
+/// incremental compile cache uses to repatch an existing graph topology
+/// when only workload dimensions (hidden size, batch, sequence) changed.
+#[must_use]
+pub fn step_costs(cfg: &ModelConfig, batch: u64, seq: u64) -> Vec<OpCost> {
+    step_records(cfg, batch, seq)
+        .into_iter()
+        .map(|r| r.cost)
+        .collect()
 }
 
 /// Sum of FLOPs over `ops` restricted to a phase.
@@ -596,6 +710,34 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), ops.len());
+    }
+
+    #[test]
+    fn records_align_with_ops() {
+        // step_records is the single source behind training_step_ops and
+        // step_costs; the three views must agree index-for-index.
+        for cfg in [
+            ModelConfig::gpt2_probe(768, 3),
+            ModelConfig::llama2_probe(1024, 2),
+        ] {
+            let ops = training_step_ops(&cfg, 4, 256);
+            let records = step_records(&cfg, 4, 256);
+            let costs = step_costs(&cfg, 4, 256);
+            assert_eq!(ops.len(), records.len());
+            assert_eq!(ops.len(), costs.len());
+            let mut buf = String::new();
+            for ((op, r), c) in ops.iter().zip(&records).zip(&costs) {
+                r.write_name(&mut buf);
+                assert_eq!(op.name, buf);
+                assert_eq!(op.class, r.class);
+                assert_eq!(op.phase, r.phase);
+                assert_eq!(op.layer, r.layer);
+                assert_eq!(op.flops.to_bits(), c.flops.to_bits(), "{}", op.name);
+                assert_eq!(op.params, c.params);
+                assert_eq!(op.in_elems, c.in_elems);
+                assert_eq!(op.out_elems, c.out_elems);
+            }
+        }
     }
 
     #[test]

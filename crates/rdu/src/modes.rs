@@ -4,7 +4,9 @@
 use crate::chip::{RduCompilerParams, RduSpec};
 use crate::section::{assign_units, Section};
 use crate::sharding::shard_lm_head;
-use dabench_model::ops::{Op, OpClass, Phase};
+use dabench_core::compile::training_graph;
+use dabench_graph::{DataflowGraph, NodeRef};
+use dabench_model::ops::{OpClass, Phase};
 use dabench_model::TrainingWorkload;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -83,13 +85,21 @@ fn elem_bytes(w: &TrainingWorkload) -> u64 {
 }
 
 /// The ops of decoder layer 0, the per-layer template (all layers are
-/// identical).
-fn layer_template(ops: &[Op]) -> Vec<&Op> {
-    ops.iter().filter(|o| o.layer == Some(0)).collect()
+/// identical). Node order equals the op-catalogue order, so downstream
+/// float accumulations stay bitwise identical to the legacy `step_ops()`
+/// walks.
+fn layer_template(g: &DataflowGraph) -> Vec<NodeRef<'_>> {
+    g.iter()
+        .map(|(_, op)| op)
+        .filter(|o| o.layer() == Some(0))
+        .collect()
 }
 
-fn non_layer_ops(ops: &[Op]) -> Vec<&Op> {
-    ops.iter().filter(|o| o.layer.is_none()).collect()
+fn non_layer_ops(g: &DataflowGraph) -> Vec<NodeRef<'_>> {
+    g.iter()
+        .map(|(_, op)| op)
+        .filter(|o| o.layer().is_none())
+        .collect()
 }
 
 /// Whether an op's tensors are quadratic attention internals that fused
@@ -103,24 +113,25 @@ fn is_attention_internal(class: OpClass) -> bool {
 /// Forward-input activation bytes a backward op must re-read from DDR (the
 /// stashed forward activations). With `tiled` set (O1/O3), attention
 /// internals are recomputed on chip instead of re-read.
-fn bwd_act_read_bytes(op: &Op, all: &[Op], eb: u64, tiled: bool) -> u64 {
-    if op.phase != Phase::Backward {
+///
+/// The graph's pre-linked forward twin replaces the legacy
+/// `name.replace(".bwd", ".fwd")` linear scan with an O(1) lookup.
+fn bwd_act_read_bytes(op: NodeRef<'_>, g: &DataflowGraph, eb: u64, tiled: bool) -> u64 {
+    if op.phase() != Phase::Backward {
         return 0;
     }
-    if tiled && matches!(op.class, OpClass::Softmax | OpClass::AttnContext) {
+    if tiled && matches!(op.class(), OpClass::Softmax | OpClass::AttnContext) {
         return 0;
     }
-    let fwd_name = op.name.replace(".bwd", ".fwd");
-    all.iter()
-        .find(|o| o.name == fwd_name)
-        .map_or(0, |f| f.in_elems * eb)
+    g.forward_twin(op.id())
+        .map_or(0, |f| g.op(f).in_elems() * eb)
 }
 
 /// A single-operator section (O0 style).
 fn op_section(
-    op: &Op,
+    op: NodeRef<'_>,
     invocations: u64,
-    all: &[Op],
+    g: &DataflowGraph,
     workload: &TrainingWorkload,
     spec: &RduSpec,
     params: &RduCompilerParams,
@@ -128,16 +139,16 @@ fn op_section(
     let eb = elem_bytes(workload);
     // A tied LM head owns no parameters, but still reads the shared
     // embedding matrix from DDR on every pass.
-    let weight = if op.class == OpClass::LmHead && op.params == 0 {
+    let weight = if op.class() == OpClass::LmHead && op.params() == 0 {
         workload.model().vocab_size * workload.model().hidden_size * eb
     } else {
-        op.params * eb
+        op.params() * eb
     };
-    let input = op.in_elems * eb + bwd_act_read_bytes(op, all, eb, false);
-    let output = op.out_elems * eb;
+    let input = op.in_elems() * eb + bwd_act_read_bytes(op, g, eb, false);
+    let output = op.out_elems() * eb;
     assign_units(
-        &format!("op.{}", op.name),
-        &[op],
+        &format!("op.{}", op.name()),
+        &[(op.name(), op.flops())],
         invocations,
         weight,
         input,
@@ -151,11 +162,11 @@ fn optimizer_section(
     workload: &TrainingWorkload,
     spec: &RduSpec,
     params: &RduCompilerParams,
-    all: &[Op],
+    g: &DataflowGraph,
 ) -> Section {
-    let opt = all
-        .iter()
-        .find(|o| o.class == OpClass::OptimizerStep)
+    let opt = g
+        .find("optimizer.upd")
+        .map(|id| g.op(id))
         .expect("training step has an optimizer op");
     let p = workload.model().parameter_count();
     let eb = elem_bytes(workload);
@@ -163,7 +174,7 @@ fn optimizer_section(
     let traffic = p * (2 * eb + 16) + p * (eb + 16);
     assign_units(
         "optimizer",
-        &[opt],
+        &[(opt.name(), opt.flops())],
         1,
         0,
         traffic / 2,
@@ -180,23 +191,23 @@ fn partition_o0(
     spec: &RduSpec,
     params: &RduCompilerParams,
 ) -> Vec<Section> {
-    let all = workload.step_ops();
+    let graph = training_graph(workload);
     let layers = workload.model().num_layers;
     let mut sections = Vec::new();
-    for op in non_layer_ops(&all) {
-        if op.class == OpClass::OptimizerStep {
+    for op in non_layer_ops(&graph) {
+        if op.class() == OpClass::OptimizerStep {
             continue;
         }
-        sections.push(op_section(op, 1, &all, workload, spec, params));
+        sections.push(op_section(op, 1, &graph, workload, spec, params));
     }
-    for op in layer_template(&all) {
-        let mut sec = op_section(op, layers, &all, workload, spec, params);
+    for op in layer_template(&graph) {
+        let mut sec = op_section(op, layers, &graph, workload, spec, params);
         // O0 sections alternate per operator through each layer's program,
         // so every invocation pays a fresh fabric load.
         sec.reload_per_invocation = true;
         sections.push(sec);
     }
-    sections.push(optimizer_section(workload, spec, params, &all));
+    sections.push(optimizer_section(workload, spec, params, &graph));
     sections
 }
 
@@ -214,26 +225,27 @@ const O1_MODULES: &[(&str, &[&str])] = &[
 
 fn module_section(
     label: &str,
-    members: &[&Op],
+    members: &[NodeRef<'_>],
     invocations: u64,
-    all: &[Op],
+    g: &DataflowGraph,
     workload: &TrainingWorkload,
     spec: &RduSpec,
     params: &RduCompilerParams,
 ) -> Section {
     let eb = elem_bytes(workload);
-    let weight: u64 = members.iter().map(|o| o.params * eb).sum();
+    let weight: u64 = members.iter().map(|o| o.params() * eb).sum();
     let acts: u64 = members
         .iter()
-        .map(|o| bwd_act_read_bytes(o, all, eb, true))
+        .map(|o| bwd_act_read_bytes(*o, g, eb, true))
         .sum();
     // Boundary tensors: the module's first input and last output cross the
     // section boundary; interior tensors stay in PMUs.
-    let input = members.first().map_or(0, |o| o.in_elems * eb) + acts;
-    let output = members.last().map_or(0, |o| o.out_elems * eb);
+    let input = members.first().map_or(0, |o| o.in_elems() * eb) + acts;
+    let output = members.last().map_or(0, |o| o.out_elems() * eb);
+    let ops: Vec<(&str, f64)> = members.iter().map(|o| (o.name(), o.flops())).collect();
     assign_units(
         label,
-        members,
+        &ops,
         invocations,
         weight,
         input,
@@ -248,9 +260,8 @@ fn partition_o1(
     spec: &RduSpec,
     params: &RduCompilerParams,
 ) -> Vec<Section> {
-    let all = workload.step_ops();
+    let graph = training_graph(workload);
     let layers = workload.model().num_layers;
-    let template = layer_template(&all);
     let eb = elem_bytes(workload);
     let mut sections = Vec::new();
 
@@ -261,14 +272,12 @@ fn partition_o1(
             "bwd"
         };
         for (label, op_labels) in O1_MODULES {
-            let members: Vec<&Op> = op_labels
+            // Members resolve by exact interned name — an O(1) index probe
+            // per label instead of the legacy template scan.
+            let members: Vec<NodeRef<'_>> = op_labels
                 .iter()
-                .filter_map(|l| {
-                    template
-                        .iter()
-                        .find(|o| o.phase == phase && o.name.contains(&format!(".{l}.")))
-                        .copied()
-                })
+                .filter_map(|l| graph.find(&format!("l0.{l}.{suffix}")))
+                .map(|id| graph.op(id))
                 .collect();
             if members.is_empty() {
                 continue;
@@ -277,7 +286,7 @@ fn partition_o1(
                 &format!("o1.{label}.{suffix}"),
                 &members,
                 layers,
-                &all,
+                &graph,
                 workload,
                 spec,
                 params,
@@ -286,10 +295,10 @@ fn partition_o1(
     }
 
     // Embedding and loss as their own modules.
-    for op in non_layer_ops(&all) {
-        match op.class {
+    for op in non_layer_ops(&graph) {
+        match op.class() {
             OpClass::Embedding | OpClass::Loss | OpClass::Norm => {
-                sections.push(op_section(op, 1, &all, workload, spec, params));
+                sections.push(op_section(op, 1, &graph, workload, spec, params));
             }
             _ => {}
         }
@@ -304,20 +313,24 @@ fn partition_o1(
         } else {
             "bwd"
         };
-        let head = all
-            .iter()
-            .find(|o| o.class == OpClass::LmHead && o.phase == phase)
+        let head = graph
+            .find(if phase == Phase::Forward {
+                "lm_head.fwd"
+            } else {
+                "lm_head.bwd"
+            })
+            .map(|id| graph.op(id))
             .expect("lm head present");
-        let per_section_flops = head.flops / plan.sections as f64;
+        let per_section_flops = head.flops() / plan.sections as f64;
         let head_bytes = model.hidden_size * model.vocab_size * eb;
         for s in 0..plan.sections {
             let mut sec = assign_units(
                 &format!("o1.lm_head.{suffix}.shard{s}"),
-                &[head],
+                &[(head.name(), head.flops())],
                 1,
                 head_bytes / plan.sections,
-                head.in_elems * eb / plan.sections,
-                head.out_elems * eb / plan.sections,
+                head.in_elems() * eb / plan.sections,
+                head.out_elems() * eb / plan.sections,
                 spec,
                 params,
             );
@@ -334,7 +347,7 @@ fn partition_o1(
         }
     }
 
-    sections.push(optimizer_section(workload, spec, params, &all));
+    sections.push(optimizer_section(workload, spec, params, &graph));
     sections
 }
 
@@ -375,7 +388,7 @@ fn o3_decoder_sections(
     workload: &TrainingWorkload,
     spec: &RduSpec,
     params: &RduCompilerParams,
-    all: &[Op],
+    g: &DataflowGraph,
     phase: Phase,
     ratio: f64,
 ) -> Vec<Section> {
@@ -387,20 +400,20 @@ fn o3_decoder_sections(
     let eb = elem_bytes(workload);
     let layers = workload.model().num_layers;
     let count = ((layers as f64 * ratio).ceil() as u64).max(1);
-    let template: Vec<&Op> = layer_template(all)
+    let template: Vec<NodeRef<'_>> = layer_template(g)
         .into_iter()
-        .filter(|o| o.phase == phase)
+        .filter(|o| o.phase() == phase)
         .collect();
-    let layer_flops: f64 = template.iter().map(|o| o.flops).sum();
-    let layer_weights: u64 = template.iter().map(|o| o.params * eb).sum();
+    let layer_flops: f64 = template.iter().map(|o| o.flops()).sum();
+    let layer_weights: u64 = template.iter().map(|o| o.params() * eb).sum();
     // Attention internals are tiled on chip and recomputed for backward;
     // only linear-size activations round-trip through DDR.
-    let stored_acts: u64 = layer_template(all)
+    let stored_acts: u64 = layer_template(g)
         .iter()
-        .filter(|o| o.phase == Phase::Forward && !is_attention_internal(o.class))
-        .map(|o| o.out_elems * eb)
+        .filter(|o| o.phase() == Phase::Forward && !is_attention_internal(o.class()))
+        .map(|o| o.out_elems() * eb)
         .sum();
-    let boundary = template.first().map_or(0, |o| o.in_elems * eb);
+    let boundary = template.first().map_or(0, |o| o.in_elems() * eb);
     let decoders_per_section = layers as f64 / count as f64;
 
     let suffix = if phase == Phase::Forward {
@@ -408,6 +421,7 @@ fn o3_decoder_sections(
     } else {
         "bwd"
     };
+    let template_ops: Vec<(&str, f64)> = template.iter().map(|o| (o.name(), o.flops())).collect();
     // Unit sizing uses the one-decoder template even when a section holds a
     // fractional number of decoders (ratio ≠ 1): SambaFlow sizes sections
     // from the repeated decoder program, and the sqrt template's
@@ -416,7 +430,7 @@ fn o3_decoder_sections(
         .map(|i| {
             let mut sec = assign_units(
                 &format!("o3.decoders.{suffix}.{i}"),
-                &template,
+                &template_ops,
                 1,
                 (layer_weights as f64 * decoders_per_section) as u64,
                 boundary
@@ -445,20 +459,20 @@ fn partition_o3(
     spec: &RduSpec,
     params: &RduCompilerParams,
 ) -> Vec<Section> {
-    let all = workload.step_ops();
+    let graph = training_graph(workload);
     let (r_fwd, r_bwd) = o3_ratios(workload, params);
     let mut sections = Vec::new();
 
-    for op in non_layer_ops(&all) {
-        if op.phase == Phase::Forward || op.phase == Phase::Backward {
-            sections.push(op_section(op, 1, &all, workload, spec, params));
+    for op in non_layer_ops(&graph) {
+        if op.phase() == Phase::Forward || op.phase() == Phase::Backward {
+            sections.push(op_section(op, 1, &graph, workload, spec, params));
         }
     }
     sections.extend(o3_decoder_sections(
         workload,
         spec,
         params,
-        &all,
+        &graph,
         Phase::Forward,
         r_fwd,
     ));
@@ -466,11 +480,11 @@ fn partition_o3(
         workload,
         spec,
         params,
-        &all,
+        &graph,
         Phase::Backward,
         r_bwd,
     ));
-    sections.push(optimizer_section(workload, spec, params, &all));
+    sections.push(optimizer_section(workload, spec, params, &graph));
     sections
 }
 

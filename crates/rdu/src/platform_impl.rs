@@ -62,20 +62,13 @@ impl Platform for Rdu {
         // are tiled on chip and recomputed, so only linear-size
         // activations are DDR-resident.
         let eb = workload.precision().bytes_per_element();
-        let resident_acts: u64 = workload
-            .step_ops()
-            .iter()
-            .filter(|o| {
-                o.phase == dabench_model::ops::Phase::Forward
-                    && (self.mode() == crate::CompilationMode::O0
-                        || !matches!(
-                            o.class,
-                            dabench_model::ops::OpClass::AttnScores
-                                | dabench_model::ops::OpClass::Softmax
-                        ))
-            })
-            .map(|o| o.out_elems * eb)
-            .sum();
+        let graph = dabench_core::compile::training_graph(workload);
+        let summary = graph.summary();
+        let resident_acts: u64 = if self.mode() == crate::CompilationMode::O0 {
+            summary.forward_out_elems
+        } else {
+            summary.forward_out_elems_no_attn_internal
+        } * eb;
         let state = workload.training_state_bytes() + resident_acts;
         if state > spec.ddr_capacity_bytes {
             return Err(PlatformError::OutOfMemory {

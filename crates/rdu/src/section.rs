@@ -1,7 +1,6 @@
 //! Sections: the RDU's unit of graph loading and execution.
 
 use crate::chip::{RduCompilerParams, RduSpec};
-use dabench_model::ops::Op;
 use serde::{Deserialize, Serialize};
 
 /// PCU assignment of one operator inside a section (drives the paper's
@@ -81,6 +80,9 @@ impl Section {
 /// Assign PCUs to the ops of a section with the conservative √FLOPs
 /// template, then size the section's PCU/PMU claims.
 ///
+/// Each op is a `(name, flops)` pair — the resolved operator name (borrowed
+/// from the graph's interner) and its FLOPs for one invocation.
+///
 /// The template under-provisions large operators relative to their work
 /// (a real compiler schedules tiles over time rather than space), which is
 /// exactly why measured RDU allocation stays below ~60% in the paper.
@@ -88,7 +90,7 @@ impl Section {
 #[allow(clippy::too_many_arguments)]
 pub fn assign_units(
     name: &str,
-    ops: &[&Op],
+    ops: &[(&str, f64)],
     invocations: u64,
     weight_bytes: u64,
     input_bytes: u64,
@@ -98,11 +100,11 @@ pub fn assign_units(
 ) -> Section {
     let budget = spec.pcu_count().min(params.max_pcus_per_section);
     // Section sizing: the conservative √FLOPs template sets the section's
-    // total PCU claim (`op.flops` is the work of ONE invocation; per-layer
-    // sections pass the layer-0 template ops).
+    // total PCU claim (the flops entry is the work of ONE invocation;
+    // per-layer sections pass the layer-0 template ops).
     let sqrt_total: f64 = ops
         .iter()
-        .map(|op| op.flops.max(0.0).sqrt() / params.sqrt_flops_per_pcu)
+        .map(|(_, flops)| flops.max(0.0).sqrt() / params.sqrt_flops_per_pcu)
         .sum();
     let floor = params.min_pcus_per_op * ops.len() as u64;
     let total_pcus = (sqrt_total.round() as u64).clamp(floor.min(budget), budget);
@@ -112,19 +114,19 @@ pub fn assign_units(
     // is what produces the operator-level load imbalance of Fig. 8, and
     // its relative error shrinks as hidden size grows (Fig. 8(b)).
     let quantum = params.pcu_quantum.max(1);
-    let flops_total: f64 = ops.iter().map(|op| op.flops.max(0.0)).sum();
+    let flops_total: f64 = ops.iter().map(|(_, flops)| flops.max(0.0)).sum();
     let assignments: Vec<OpAssignment> = ops
         .iter()
-        .map(|op| {
+        .map(|(op_name, flops)| {
             let share = if flops_total > 0.0 {
-                total_pcus as f64 * op.flops.max(0.0) / flops_total
+                total_pcus as f64 * flops.max(0.0) / flops_total
             } else {
                 total_pcus as f64 / ops.len() as f64
             };
             let quantized = ((share / quantum as f64).round() as u64) * quantum;
             OpAssignment {
-                name: op.name.clone(),
-                flops: op.flops,
+                name: (*op_name).to_owned(),
+                flops: *flops,
                 pcus: quantized.max(params.min_pcus_per_op),
             }
         })
@@ -154,22 +156,8 @@ pub fn assign_units(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dabench_model::ops::{OpClass, Phase};
 
-    fn op(name: &str, flops: f64) -> Op {
-        Op {
-            name: name.into(),
-            class: OpClass::MlpUp,
-            phase: Phase::Forward,
-            layer: Some(0),
-            flops,
-            params: 0,
-            in_elems: 1000,
-            out_elems: 1000,
-        }
-    }
-
-    fn assign(ops: &[&Op]) -> Section {
+    fn assign(ops: &[(&str, f64)]) -> Section {
         assign_units(
             "s",
             ops,
@@ -186,27 +174,22 @@ mod tests {
     fn section_sizing_is_sublinear() {
         // Section totals follow the √FLOPs template: 100× the work buys
         // only ~10× the PCUs.
-        let small = op("small", 1e9);
-        let big = op("big", 1e11);
-        let s_small = assign(&[&small]);
-        let s_big = assign(&[&big]);
+        let s_small = assign(&[("small", 1e9)]);
+        let s_big = assign(&[("big", 1e11)]);
         let ratio = s_big.pcus as f64 / s_small.pcus as f64;
         assert!((7.0..14.0).contains(&ratio), "{ratio}");
     }
 
     #[test]
     fn intra_section_split_is_proportional() {
-        let small = op("small", 1e10);
-        let big = op("big", 3e10);
-        let s = assign(&[&small, &big]);
+        let s = assign(&[("small", 1e10), ("big", 3e10)]);
         let ratio = s.ops[1].pcus as f64 / s.ops[0].pcus as f64;
         assert!((2.0..4.5).contains(&ratio), "{ratio}");
     }
 
     #[test]
     fn min_pcus_enforced() {
-        let tiny = op("tiny", 1.0);
-        let s = assign(&[&tiny]);
+        let s = assign(&[("tiny", 1.0)]);
         // The floor is min_pcus, possibly rounded up to one quantum.
         assert!(
             s.ops[0].pcus >= 4 && s.ops[0].pcus <= 8,
@@ -217,18 +200,17 @@ mod tests {
 
     #[test]
     fn oversubscription_scales_down() {
-        let huge: Vec<Op> = (0..8).map(|i| op(&format!("h{i}"), 1e13)).collect();
-        let refs: Vec<&Op> = huge.iter().collect();
-        let s = assign(&refs);
+        let names: Vec<String> = (0..8).map(|i| format!("h{i}")).collect();
+        let huge: Vec<(&str, f64)> = names.iter().map(|n| (n.as_str(), 1e13)).collect();
+        let s = assign(&huge);
         assert!(s.pcus <= 640);
     }
 
     #[test]
     fn pmus_track_working_set() {
-        let o = op("o", 1e9);
         let small = assign_units(
             "s",
-            &[&o],
+            &[("o", 1e9)],
             1,
             1 << 20,
             0,
@@ -238,7 +220,7 @@ mod tests {
         );
         let large = assign_units(
             "l",
-            &[&o],
+            &[("o", 1e9)],
             1,
             200 << 20,
             0,
@@ -252,10 +234,9 @@ mod tests {
 
     #[test]
     fn ddr_accounting() {
-        let o = op("o", 1e9);
         let s = assign_units(
             "s",
-            &[&o],
+            &[("o", 1e9)],
             3,
             100,
             10,
@@ -269,8 +250,7 @@ mod tests {
 
     #[test]
     fn zero_flop_ops_have_infinite_throughput() {
-        let z = op("z", 0.0);
-        let s = assign(&[&z]);
+        let s = assign(&[("z", 0.0)]);
         assert!(s.ops[0].throughput().is_infinite());
     }
 }

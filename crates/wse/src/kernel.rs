@@ -8,7 +8,9 @@
 //! Forward and backward of the same layer share the kernel's PE region;
 //! optimizer work is distributed onto the kernels that own the weights.
 
-use dabench_model::ops::{Op, OpClass, Phase};
+use dabench_core::compile::training_graph;
+use dabench_graph::NodeRef;
+use dabench_model::ops::{OpClass, Phase};
 use dabench_model::TrainingWorkload;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -80,20 +82,21 @@ impl Kernel {
     }
 }
 
-fn kind_of(op: &Op) -> Option<KernelKind> {
-    match op.class {
+fn kind_of(op: NodeRef<'_>) -> Option<KernelKind> {
+    match op.class() {
         OpClass::Embedding => Some(KernelKind::Embedding),
         OpClass::LmHead => Some(KernelKind::LmHead),
         OpClass::Loss => Some(KernelKind::Loss),
         OpClass::OptimizerStep => None,
-        OpClass::Norm if op.layer.is_none() => Some(KernelKind::LmHead), // final norm
+        OpClass::Norm if op.layer().is_none() => Some(KernelKind::LmHead), // final norm
         _ => {
-            let layer = op.layer?;
+            let layer = op.layer()?;
             // norm1 + attention + residual1 → attention kernel;
-            // norm2 + MLP + residual2 → FFN kernel.
-            if op.class.is_attention()
-                || op.name.contains(".norm1.")
-                || op.name.contains(".residual1.")
+            // norm2 + MLP + residual2 → FFN kernel. Name checks resolve
+            // through the graph's interner — no allocation.
+            if op.class().is_attention()
+                || op.name().contains(".norm1.")
+                || op.name().contains(".residual1.")
             {
                 Some(KernelKind::Attention { layer })
             } else {
@@ -118,7 +121,7 @@ fn kind_of(op: &Op) -> Option<KernelKind> {
 /// ```
 #[must_use]
 pub fn kernels_of(workload: &TrainingWorkload) -> Vec<Kernel> {
-    let ops = workload.step_ops();
+    let graph = training_graph(workload);
     let tokens = workload.tokens_per_step() as f64;
     let model = workload.model();
 
@@ -141,21 +144,24 @@ pub fn kernels_of(workload: &TrainingWorkload) -> Vec<Kernel> {
         })
         .collect();
 
+    // Graph node order equals the op-catalogue order, so every per-kernel
+    // float accumulation below is bitwise identical to the legacy
+    // `step_ops()` walk.
     let mut optimizer_flops = 0.0;
-    for op in &ops {
+    for (_, op) in graph.iter() {
         match kind_of(op) {
             Some(kind) => {
                 let k = kernels
                     .iter_mut()
                     .find(|k| k.kind == kind)
                     .expect("kernel order covers all kinds");
-                k.flops += op.flops;
-                if op.phase == Phase::Forward {
-                    k.params += op.params;
-                    k.stored_act_elems += op.out_elems;
+                k.flops += op.flops();
+                if op.phase() == Phase::Forward {
+                    k.params += op.params();
+                    k.stored_act_elems += op.out_elems();
                 }
             }
-            None => optimizer_flops += op.flops,
+            None => optimizer_flops += op.flops(),
         }
     }
 

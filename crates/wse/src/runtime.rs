@@ -113,7 +113,9 @@ fn execute_inner(
     let report = steady_state_analysis(&stages, batch);
 
     let step_time = report.total_time;
-    let step_flops = workload.training_flops_per_step();
+    let step_flops = dabench_core::compile::training_graph(workload)
+        .summary()
+        .total_flops;
     let achieved_tflops = step_flops / step_time / 1e12;
     let throughput = workload.tokens_per_step() as f64 / step_time;
 

@@ -115,7 +115,10 @@ pub fn weight_streaming(
     let usable =
         params.usable_grid_fraction * spec.pe_count() as f64 / (1.0 + params.transmission_ratio);
     let compute_rate = usable * spec.peak_flops_per_pe * params.weight_streaming_efficiency * rate;
-    let compute_time = workload.training_flops_per_step() / compute_rate;
+    let step_flops = dabench_core::compile::training_graph(workload)
+        .summary()
+        .total_flops;
+    let compute_time = step_flops / compute_rate;
 
     // Weights stream in once for forward and once for backward.
     let weight_bytes = workload.weight_bytes() as f64;
@@ -126,7 +129,7 @@ pub fn weight_streaming(
         step_time_s: step_time,
         throughput_tokens_per_s: workload.tokens_per_step() as f64 / step_time,
         streaming_fraction: stream_time / step_time,
-        achieved_tflops: workload.training_flops_per_step() / step_time / 1e12,
+        achieved_tflops: step_flops / step_time / 1e12,
     })
 }
 
